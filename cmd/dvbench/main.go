@@ -1,0 +1,199 @@
+// Command dvbench regenerates the paper's tables and figures:
+//
+//	dvbench -exp all -scale full -cache artifacts/
+//	dvbench -exp table6 -dataset objects
+//	dvbench -exp fig2 -out figures/
+//
+// Expensive artifacts (trained models, fitted validators, corner-case
+// corpora, attack suites) are cached under -cache, so repeated
+// invocations re-render tables from the same inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepvalidation/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvbench:", err)
+		os.Exit(1)
+	}
+}
+
+var experiments = []string{
+	"table3", "table5", "fig2", "fig3", "table6", "table7", "table8", "fig4",
+	"ablation-weights", "ablation-rear", "ablation-nu", "ablation-norm", "ext-novel",
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments, ", ")+", or all")
+		scale    = flag.String("scale", "full", "experiment scale: quick or full")
+		cacheDir = flag.String("cache", "artifacts", "artifact cache directory (empty disables caching)")
+		dsName   = flag.String("dataset", "", "restrict per-dataset experiments to one scenario")
+		outDir   = flag.String("out", "figures", "output directory for fig2 images")
+		format   = flag.String("format", "text", "table format: text or markdown")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+	lab := experiment.NewLab(sc, *cacheDir)
+	if !*quiet {
+		lab.Log = os.Stderr
+	}
+
+	names := experiment.ScenarioNames()
+	if *dsName != "" {
+		names = []string{*dsName}
+	}
+
+	var render func(*experiment.Table)
+	switch *format {
+	case "text":
+		render = func(t *experiment.Table) { render(t) }
+	case "markdown":
+		render = func(t *experiment.Table) { t.RenderMarkdown(os.Stdout) }
+	default:
+		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
+	}
+
+	todo := experiments
+	if *exp != "all" {
+		todo = strings.Split(*exp, ",")
+	}
+	for _, id := range todo {
+		if err := runOne(lab, strings.TrimSpace(id), names, *outDir, render); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(lab *experiment.Lab, id string, names []string, outDir string, render func(*experiment.Table)) error {
+	switch id {
+	case "table3":
+		t, err := lab.Table3(names...)
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "table5":
+		for _, name := range names {
+			t, err := lab.Table5(name)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	case "fig2":
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range names {
+			files, err := lab.Figure2(name, outDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure 2 (%s): wrote %d images under %s\n", name, len(files), outDir)
+		}
+	case "fig3":
+		for _, name := range names {
+			d, err := lab.Figure3(name)
+			if err != nil {
+				return err
+			}
+			d.RenderHistograms(os.Stdout, 80, 12)
+			render(d.Summary())
+		}
+	case "table6":
+		for _, name := range names {
+			t, err := lab.Table6(name)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	case "table7":
+		t, err := lab.Table7(names...)
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "table8":
+		t, err := lab.Table8()
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "fig4":
+		const fpr = 0.059 // the paper's Figure 4 operating point
+		pts, err := lab.Figure4("digits", fpr)
+		if err != nil {
+			return err
+		}
+		render(experiment.Fig4Table("digits", fpr, pts))
+	case "ablation-weights":
+		for _, name := range names {
+			t, err := lab.AblationWeightedJoint(name)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	case "ablation-rear":
+		t, err := lab.AblationRearLayers(pick(names, "objects"))
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "ablation-nu":
+		t, err := lab.AblationNu(pick(names, "digits"), []float64{0.02, 0.05, 0.1, 0.2, 0.4})
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "ablation-norm":
+		for _, name := range names {
+			t, err := lab.AblationNormalizedJoint(name)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	case "ext-novel":
+		for _, name := range names {
+			t, err := lab.ExtensionNovelTransforms(name)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// pick prefers want when present in names, else the first entry.
+func pick(names []string, want string) string {
+	for _, n := range names {
+		if n == want {
+			return n
+		}
+	}
+	return names[0]
+}

@@ -1,0 +1,85 @@
+// Command dvcheck classifies one or more PGM/PPM image files with a
+// saved model and validates each prediction with a saved Deep
+// Validation detector — the fail-safe inference path a deployed system
+// would run:
+//
+//	dvcheck -model digits.model -validator digits.validator -eps 1.2 img1.pgm img2.pgm
+//
+// The exit code is 0 when every prediction is valid and 3 when at least
+// one input was flagged as a corner case, so shell pipelines can gate
+// on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepvalidation/internal/core"
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/nn"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvcheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		modelPath = flag.String("model", "model.gob", "trained model path")
+		valPath   = flag.String("validator", "validator.gob", "fitted validator path")
+		eps       = flag.Float64("eps", 0, "detection threshold ε (see dvvalidate score or examples/threshold_tuning)")
+		verbose   = flag.Bool("v", false, "print per-layer discrepancies")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return 0, fmt.Errorf("no image files given (want PGM/PPM paths as arguments)")
+	}
+
+	net, err := nn.Load(*modelPath)
+	if err != nil {
+		return 0, err
+	}
+	val, err := core.LoadValidator(*valPath)
+	if err != nil {
+		return 0, err
+	}
+	mon, err := core.NewMonitor(net, val, *eps)
+	if err != nil {
+		return 0, err
+	}
+
+	flagged := 0
+	for _, path := range flag.Args() {
+		img, err := dataset.LoadPNM(path)
+		if err != nil {
+			return 0, err
+		}
+		if err := net.CheckInput(img); err != nil {
+			return 0, fmt.Errorf("%s: %w", path, err)
+		}
+		v := mon.Check(img)
+		status := "VALID"
+		if !v.Valid {
+			status = "CORNER CASE"
+			flagged++
+		}
+		fmt.Printf("%s: class %d (confidence %.3f), discrepancy %+.4f [%s]\n",
+			path, v.Label, v.Confidence, v.Discrepancy, status)
+		if *verbose {
+			res := val.Score(net, img)
+			for p, d := range res.Layer {
+				fmt.Printf("  layer %d: d = %+.4f\n", val.LayerIdx[p]+1, d)
+			}
+		}
+	}
+	if flagged > 0 {
+		return 3, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,103 @@
+// Command dvcorner runs the paper's metamorphic corner-case search
+// (Section III-A) against a trained model, prints the resulting Table V
+// rows, and optionally exports example images (Figure 2):
+//
+//	dvcorner -model digits.model -dataset digits -seeds 200 -img-dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvcorner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath = flag.String("model", "model.gob", "trained model path")
+		dsName    = flag.String("dataset", "digits", "dataset name")
+		trainN    = flag.Int("train", 2500, "training set size (must match training)")
+		testN     = flag.Int("test", 800, "test set size (must match training)")
+		dsSeed    = flag.Int64("data-seed", 1, "dataset seed (must match training)")
+		seeds     = flag.Int("seeds", 200, "number of correctly classified seed images")
+		seedSeed  = flag.Int64("seed", 7, "seed-selection randomness")
+		imgDir    = flag.String("img-dir", "", "directory for example corner-case images (empty = skip)")
+	)
+	flag.Parse()
+
+	net, err := nn.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.ByName(*dsName, dataset.Config{TrainN: *trainN, TestN: *testN, Seed: *dsSeed})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seedSeed))
+	seedX, seedY, err := corner.SelectSeeds(net, ds.TestX, ds.TestY, *seeds, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("searching %d transformation families over %d seeds\n", len(corner.Families(ds.InC == 1)), len(seedX))
+	results := corner.Search(net, seedX, seedY, corner.Families(ds.InC == 1))
+
+	fmt.Printf("%-12s  %-34s  %-12s  %s\n", "Family", "Configuration", "Success Rate", "Mean Wrong-Prediction Confidence")
+	var kept []corner.SearchResult
+	for _, r := range results {
+		if !r.Kept {
+			fmt.Printf("%-12s  %-34s  %-12s  %s\n", r.Family, "-", "-", "-")
+			continue
+		}
+		kept = append(kept, r)
+		fmt.Printf("%-12s  %-34s  %-12.4f  %.4f\n",
+			r.Family, r.Best.Transform.Describe(), r.Best.SuccessRate, r.Best.MeanWrongConfidence)
+	}
+	if combined, ok := corner.CombineSearch(net, seedX, seedY, results); ok {
+		fmt.Printf("%-12s  %-34s  %-12.4f  %.4f\n",
+			"combined", combined.Transform.Describe(), combined.SuccessRate, combined.MeanWrongConfidence)
+		kept = append(kept, corner.SearchResult{Family: "combined", Kept: true, Best: combined})
+	}
+
+	if *imgDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*imgDir, 0o755); err != nil {
+		return err
+	}
+	ext := ".ppm"
+	if ds.InC == 1 {
+		ext = ".pgm"
+	}
+	if err := dataset.SavePNM(filepath.Join(*imgDir, "seed"+ext), seedX[0]); err != nil {
+		return err
+	}
+	for _, r := range kept {
+		// Export the first successful corner case of each family.
+		img := r.Best.Images[0]
+		for i := range r.Best.Images {
+			if r.Best.Preds[i] != r.Best.SeedLabels[i] {
+				img = r.Best.Images[i]
+				break
+			}
+		}
+		path := filepath.Join(*imgDir, r.Family+ext)
+		if err := dataset.SavePNM(path, img); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

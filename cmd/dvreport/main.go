@@ -1,0 +1,75 @@
+// Command dvreport writes a self-contained evaluation report — every
+// table, the Figure 3 distribution plots, and the Figure 4 sweep — to
+// stdout or a file:
+//
+//	dvreport -scale full -cache artifacts -markdown -o report.md
+//
+// With a warm cache (after `dvbench -exp all`) the report renders in
+// seconds; on a cold cache it trains everything first.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepvalidation/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale     = flag.String("scale", "full", "experiment scale: quick or full")
+		cacheDir  = flag.String("cache", "artifacts", "artifact cache directory")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		markdown  = flag.Bool("markdown", false, "render tables as markdown")
+		attacks   = flag.Bool("attacks", true, "include Table VIII (expensive on a cold cache)")
+		ablations = flag.Bool("ablations", false, "include ablation sections (refits validators)")
+		scenarios = flag.String("datasets", "", "comma-separated scenario subset (default all)")
+	)
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	lab := experiment.NewLab(sc, *cacheDir)
+	lab.Log = os.Stderr
+
+	cfg := experiment.ReportConfig{
+		Markdown:         *markdown,
+		IncludeAttacks:   *attacks,
+		IncludeAblations: *ablations,
+	}
+	if *scenarios != "" {
+		for _, s := range strings.Split(*scenarios, ",") {
+			cfg.Scenarios = append(cfg.Scenarios, strings.TrimSpace(s))
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	defer bw.Flush()
+	return lab.WriteReport(bw, cfg)
+}

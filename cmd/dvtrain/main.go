@@ -1,0 +1,109 @@
+// Command dvtrain trains a classifier on one of the synthetic datasets
+// and saves it for later validation:
+//
+//	dvtrain -dataset digits -epochs 8 -out digits.model
+//
+// The training recipe follows the paper's Section IV-A: Adadelta with
+// lr 1.0 and decay 0.95, batch size 128, no data augmentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/opt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dsName = flag.String("dataset", "digits", "dataset: digits, objects, or streetdigits")
+		trainN = flag.Int("train", 2500, "training set size")
+		testN  = flag.Int("test", 800, "test set size")
+		dsSeed = flag.Int64("data-seed", 1, "dataset generation seed")
+		arch   = flag.String("arch", "", "architecture: cnn or densenet (default: densenet for objects, cnn otherwise)")
+		width  = flag.Int("width", 8, "base convolution width (cnn)")
+		fc     = flag.Int("fc", 64, "fully connected width (cnn)")
+		growth = flag.Int("growth", 8, "growth rate (densenet)")
+		blocks = flag.Int("block-convs", 4, "convolutions per dense block (densenet)")
+		stride = flag.Int("stem-stride", 2, "stem stride (densenet)")
+		epochs = flag.Int("epochs", 8, "training epochs")
+		batch  = flag.Int("batch", 128, "batch size")
+		seed   = flag.Int64("seed", 97, "initialization/training seed")
+		out    = flag.String("out", "model.gob", "output model path")
+		quiet  = flag.Bool("quiet", false, "suppress per-epoch progress")
+	)
+	flag.Parse()
+
+	ds, err := dataset.ByName(*dsName, dataset.Config{TrainN: *trainN, TestN: *testN, Seed: *dsSeed})
+	if err != nil {
+		return err
+	}
+	if *arch == "" {
+		if *dsName == "objects" {
+			*arch = "densenet"
+		} else {
+			*arch = "cnn"
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := nn.ArchConfig{
+		Width: *width, FCWidth: *fc,
+		Growth: *growth, BlockConvs: *blocks, StemStride: *stride,
+	}
+	var net *nn.Network
+	switch *arch {
+	case "cnn":
+		net, err = nn.NewSevenLayerCNN(*dsName, ds.InC, ds.Size, ds.Classes, cfg, rng)
+	case "densenet":
+		net, err = nn.NewDenseNetLite(*dsName, ds.InC, ds.Size, ds.Classes, cfg, rng)
+	default:
+		return fmt.Errorf("unknown architecture %q (want cnn or densenet)", *arch)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s %s model: %d parameters, %d layers\n", *dsName, *arch, net.ParamCount(), net.NumLayers())
+
+	tr := nn.NewTrainer(net, opt.NewAdadelta(1.0, 0.95), rand.New(rand.NewSource(*seed+1)))
+	tr.BatchSize = *batch
+	if *arch == "densenet" {
+		n := 200
+		if n > len(ds.TrainX) {
+			n = len(ds.TrainX)
+		}
+		tr.CalibrateWith = ds.TrainX[:n]
+		net.Calibrate(tr.CalibrateWith)
+	}
+	if !*quiet {
+		tr.OnEpoch = func(epoch int, loss, acc float64) {
+			fmt.Printf("epoch %d: loss %.4f, accuracy %.4f\n", epoch, loss, acc)
+		}
+	}
+	if _, err := tr.Train(ds.TrainX, ds.TrainY, *epochs); err != nil {
+		return err
+	}
+	acc, conf := net.Accuracy(ds.TestX, ds.TestY)
+	fmt.Printf("test accuracy %.4f, mean top-1 confidence %.4f\n", acc, conf)
+	cm := net.Confusion(ds.TestX, ds.TestY)
+	if truth, pred, count, ok := cm.MostConfused(); ok {
+		fmt.Printf("most confused: true %s predicted as %s (%d times)\n",
+			ds.ClassNames[truth], ds.ClassNames[pred], count)
+	}
+	if err := net.Save(*out); err != nil {
+		return err
+	}
+	fmt.Println("model saved to", *out)
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package deepvalidation is the public API of this repository: a
+// runtime corner-case detector for convolutional image classifiers,
+// reproducing "Deep Validation: Toward Detecting Real-World Corner
+// Cases for Deep Neural Networks" (Wu et al., DSN 2019).
+//
+// The core idea: a trained CNN's hidden layers each have a valid input
+// region learned from the training data. Deep Validation models those
+// regions with one one-class SVM per (layer, class) fitted on the
+// hidden representations of correctly classified training images, and
+// scores every prediction by its joint discrepancy — how far each
+// layer's activation sits outside the reference region of the predicted
+// class. Inputs whose discrepancy exceeds a calibrated threshold ε are
+// flagged so the surrounding system can fail safe.
+//
+// Typical use:
+//
+//	det, err := deepvalidation.Build(trainImages, trainLabels, deepvalidation.BuildConfig{Classes: 10})
+//	...
+//	det.Calibrate(cleanImages, 0.05) // ≤5% false positives
+//	v, err := det.Check(img)
+//	if !v.Valid {
+//	    // reject the prediction, alert an operator, engage a fallback
+//	}
+//
+// The heavy machinery (tensors, the CNN substrate, the SMO solver, the
+// experiment harness) lives under internal/; this package exposes the
+// workflow a downstream system needs: build or load a detector,
+// calibrate its threshold, check inputs, persist everything.
+package deepvalidation
+
+import (
+	"fmt"
+
+	"deepvalidation/internal/tensor"
+)
+
+// Image is a C×H×W image with pixel values in [0, 1], stored
+// channel-major (all of channel 0's rows, then channel 1's, ...).
+type Image struct {
+	Channels int
+	Height   int
+	Width    int
+	// Pixels holds Channels·Height·Width values in [0, 1].
+	Pixels []float64
+}
+
+// Validate checks the image's invariants.
+func (im Image) Validate() error {
+	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 {
+		return fmt.Errorf("deepvalidation: non-positive image dimensions (%d,%d,%d)", im.Channels, im.Height, im.Width)
+	}
+	if want := im.Channels * im.Height * im.Width; len(im.Pixels) != want {
+		return fmt.Errorf("deepvalidation: image has %d pixels, want %d", len(im.Pixels), want)
+	}
+	return nil
+}
+
+// tensorOf converts an Image to the internal representation, copying
+// the pixels so the caller's slice stays untouched.
+func tensorOf(im Image) (*tensor.Tensor, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	data := make([]float64, len(im.Pixels))
+	copy(data, im.Pixels)
+	return tensor.From(data, im.Channels, im.Height, im.Width), nil
+}
+
+func tensorsOf(ims []Image) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(ims))
+	for i, im := range ims {
+		t, err := tensorOf(im)
+		if err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package deepvalidation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepvalidation/internal/core"
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/opt"
+)
+
+// Detector pairs a trained classifier with its fitted Deep Validation
+// monitor. Construct one with Build (train from scratch) or Load
+// (restore persisted artifacts); it is safe for concurrent Check calls.
+type Detector struct {
+	net *nn.Network
+	val *core.Validator
+	mon *core.Monitor
+}
+
+// Verdict is the outcome of checking one image.
+type Verdict struct {
+	// Label is the classifier's prediction; Confidence its softmax
+	// probability.
+	Label      int
+	Confidence float64
+	// Discrepancy is the joint discrepancy d of the paper's
+	// Algorithm 2; higher means further outside the training
+	// distribution.
+	Discrepancy float64
+	// Valid is true when Discrepancy is below the calibrated threshold:
+	// the prediction may be trusted.
+	Valid bool
+}
+
+// BuildConfig controls Build.
+type BuildConfig struct {
+	// Classes is the number of labels (required).
+	Classes int
+	// Epochs is the classifier training budget (default 8).
+	Epochs int
+	// Width and FCWidth size the CNN (defaults 8 and 64).
+	Width, FCWidth int
+	// Nu is the one-class SVM ν (default 0.1).
+	Nu float64
+	// SVMPerClass and SVMFeatures bound validator fitting
+	// (defaults 200 and 256).
+	SVMPerClass, SVMFeatures int
+	// Seed makes the whole build deterministic (default 1).
+	Seed int64
+	// Progress, when non-nil, receives per-epoch training updates.
+	Progress func(epoch int, loss, accuracy float64)
+}
+
+// Build trains a seven-layer CNN on the labelled images (the paper's
+// Table II architecture, Adadelta recipe) and fits a Deep Validation
+// detector over all hidden layers. Images must share one geometry.
+func Build(images []Image, labels []int, cfg BuildConfig) (*Detector, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("deepvalidation: no training images")
+	}
+	if len(images) != len(labels) {
+		return nil, fmt.Errorf("deepvalidation: %d images but %d labels", len(images), len(labels))
+	}
+	if cfg.Classes <= 1 {
+		return nil, fmt.Errorf("deepvalidation: need at least 2 classes, got %d", cfg.Classes)
+	}
+	first := images[0]
+	if first.Height != first.Width {
+		return nil, fmt.Errorf("deepvalidation: only square images are supported, got %dx%d", first.Height, first.Width)
+	}
+	for i, im := range images[1:] {
+		if im.Channels != first.Channels || im.Height != first.Height || im.Width != first.Width {
+			return nil, fmt.Errorf("deepvalidation: image %d geometry differs from image 0", i+1)
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 8
+	}
+	if cfg.FCWidth <= 0 {
+		cfg.FCWidth = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	xs, err := tensorsOf(images)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := nn.NewSevenLayerCNN("detector", first.Channels, first.Height, cfg.Classes,
+		nn.ArchConfig{Width: cfg.Width, FCWidth: cfg.FCWidth}, rng)
+	if err != nil {
+		return nil, err
+	}
+	tr := nn.NewTrainer(net, opt.NewAdadelta(1.0, 0.95), rand.New(rand.NewSource(cfg.Seed+1)))
+	tr.OnEpoch = cfg.Progress
+	if _, err := tr.Train(xs, labels, cfg.Epochs); err != nil {
+		return nil, err
+	}
+
+	val, err := core.Fit(net, xs, labels, core.Config{
+		Nu:          cfg.Nu,
+		MaxPerClass: cfg.SVMPerClass,
+		MaxFeatures: cfg.SVMFeatures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(net, val)
+}
+
+// Load restores a detector from files written by Save.
+func Load(modelPath, validatorPath string) (*Detector, error) {
+	net, err := nn.Load(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	val, err := core.LoadValidator(validatorPath)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(net, val)
+}
+
+func assemble(net *nn.Network, val *core.Validator) (*Detector, error) {
+	mon, err := core.NewMonitor(net, val, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{net: net, val: val, mon: mon}, nil
+}
+
+// Save persists the detector's model and validator.
+func (d *Detector) Save(modelPath, validatorPath string) error {
+	if err := d.net.Save(modelPath); err != nil {
+		return err
+	}
+	return d.val.Save(validatorPath)
+}
+
+// Calibrate sets the detection threshold ε so that at most fpr of the
+// given clean images is flagged, and returns the chosen ε. Run it once
+// on held-out clean data before trusting Check's Valid field.
+func (d *Detector) Calibrate(clean []Image, fpr float64) (float64, error) {
+	if len(clean) == 0 {
+		return 0, fmt.Errorf("deepvalidation: no calibration images")
+	}
+	if fpr < 0 || fpr >= 1 {
+		return 0, fmt.Errorf("deepvalidation: fpr %v outside [0, 1)", fpr)
+	}
+	xs, err := tensorsOf(clean)
+	if err != nil {
+		return 0, err
+	}
+	return d.mon.CalibrateEpsilon(xs, fpr), nil
+}
+
+// SetEpsilon overrides the detection threshold directly; most callers
+// should prefer Calibrate.
+func (d *Detector) SetEpsilon(eps float64) { d.mon.SetEpsilon(eps) }
+
+// Epsilon returns the current detection threshold.
+func (d *Detector) Epsilon() float64 { return d.mon.Epsilon() }
+
+// Check classifies the image and validates the prediction.
+func (d *Detector) Check(img Image) (Verdict, error) {
+	x, err := tensorOf(img)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := d.net.CheckInput(x); err != nil {
+		return Verdict{}, err
+	}
+	v := d.mon.Check(x)
+	return Verdict{
+		Label:       v.Label,
+		Confidence:  v.Confidence,
+		Discrepancy: v.Discrepancy,
+		Valid:       v.Valid,
+	}, nil
+}
+
+// Stats reports how many inputs were checked and flagged since the
+// detector was assembled, plus the alarm rate over the most recent
+// inputs — a drift signal for fail-safe supervisors.
+func (d *Detector) Stats() (checked, flagged int, recentAlarmRate float64) {
+	return d.mon.Stats()
+}
+
+// Classes returns the number of labels the detector predicts.
+func (d *Detector) Classes() int { return d.net.Classes }

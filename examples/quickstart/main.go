@@ -1,0 +1,93 @@
+// Quickstart: build a Deep Validation detector with the public API,
+// calibrate its threshold, and watch it separate trustworthy
+// predictions from corner cases.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepvalidation"
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/imgtrans"
+	"deepvalidation/internal/tensor"
+)
+
+func main() {
+	// Generate a small handwritten-digit-style dataset (the repo's
+	// offline stand-in for MNIST).
+	ds := dataset.Digits(dataset.Config{TrainN: 800, TestN: 200, Seed: 42})
+	trainImgs := toImages(ds.TrainX)
+	testImgs := toImages(ds.TestX)
+
+	// Build: trains a seven-layer CNN, then fits one one-class SVM per
+	// (hidden layer, class) on the training activations.
+	fmt.Println("training classifier and fitting validator...")
+	det, err := deepvalidation.Build(trainImgs, ds.TrainY, deepvalidation.BuildConfig{
+		Classes: 10,
+		Epochs:  6,
+		Progress: func(epoch int, loss, acc float64) {
+			fmt.Printf("  epoch %d: loss %.4f accuracy %.4f\n", epoch, loss, acc)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate ε so at most 5% of clean inputs are flagged.
+	eps, err := det.Calibrate(testImgs[:100], 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated ε = %.4f (≤5%% false positives)\n\n", eps)
+
+	// A clean test digit: prediction should be valid.
+	clean := testImgs[150]
+	v, err := det.Check(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean digit %d    -> predicted %d (conf %.3f), discrepancy %+.3f, valid=%v\n",
+		ds.TestY[150], v.Label, v.Confidence, v.Discrepancy, v.Valid)
+
+	// The same digit rotated 50° — a real-world corner case the model
+	// never trained on. The prediction may be wrong AND confident; the
+	// detector flags it either way.
+	rotated := toImage(imgtrans.Rotation(50).Apply(ds.TestX[150]))
+	v, err = det.Check(rotated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rotated 50°      -> predicted %d (conf %.3f), discrepancy %+.3f, valid=%v\n",
+		v.Label, v.Confidence, v.Discrepancy, v.Valid)
+
+	// Complemented (inverted) digit — another corner case family.
+	inverted := toImage(imgtrans.Complement{}.Apply(ds.TestX[150]))
+	v, err = det.Check(inverted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complemented     -> predicted %d (conf %.3f), discrepancy %+.3f, valid=%v\n",
+		v.Label, v.Confidence, v.Discrepancy, v.Valid)
+
+	checked, flagged, _ := det.Stats()
+	fmt.Printf("\nmonitor stats: %d checked, %d flagged\n", checked, flagged)
+}
+
+func toImage(t *tensor.Tensor) deepvalidation.Image {
+	px := make([]float64, t.Len())
+	copy(px, t.Data)
+	return deepvalidation.Image{
+		Channels: t.Shape[0], Height: t.Shape[1], Width: t.Shape[2], Pixels: px,
+	}
+}
+
+func toImages(ts []*tensor.Tensor) []deepvalidation.Image {
+	out := make([]deepvalidation.Image, len(ts))
+	for i, t := range ts {
+		out[i] = toImage(t)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module deepvalidation
+
+go 1.22

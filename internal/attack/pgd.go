@@ -1,0 +1,59 @@
+package attack
+
+import (
+	"math/rand"
+
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/tensor"
+)
+
+// PGD runs the untargeted projected gradient descent attack of Madry et
+// al. (paper reference [38]): BIM from a uniformly random start inside
+// the ε-ball, optionally restarted. It is the strongest first-order
+// L∞ attack in common use and extends the Table VIII battery.
+func PGD(net *nn.Network, x *tensor.Tensor, label int, eps, alpha float64, iters, restarts int, rng *rand.Rand) Result {
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := Result{Adversarial: x.Clone()}
+	bestLoss := -1.0
+	for r := 0; r < restarts; r++ {
+		adv := x.Clone()
+		for i := range adv.Data {
+			adv.Data[i] += eps * (2*rng.Float64() - 1)
+			adv.Data[i] = clampBox(adv.Data[i], x.Data[i], eps)
+		}
+		for it := 0; it < iters; it++ {
+			g := lossGrad(net, adv, label)
+			for i, v := range g.Data {
+				adv.Data[i] += alpha * sign(v)
+				adv.Data[i] = clampBox(adv.Data[i], x.Data[i], eps)
+			}
+		}
+		res := finish(net, adv, label)
+		probs := net.Forward(adv)
+		loss, _ := nn.CrossEntropy(probs, label)
+		if res.Success && !best.Success {
+			best, bestLoss = res, loss
+		} else if res.Success == best.Success && loss > bestLoss {
+			best, bestLoss = res, loss
+		}
+	}
+	return best
+}
+
+// clampBox projects v into [orig−eps, orig+eps] ∩ [0, 1].
+func clampBox(v, orig, eps float64) float64 {
+	if v < orig-eps {
+		v = orig - eps
+	} else if v > orig+eps {
+		v = orig + eps
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"deepvalidation/internal/metrics"
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/tensor"
+)
+
+// Monitor wraps a classifier and its fitted validator into the runtime
+// fail-safe component the paper motivates: every prediction is
+// validated, and predictions whose joint discrepancy exceeds ε are
+// flagged so the surrounding system can "call for human intervention"
+// (Section VI). Monitor is safe for concurrent use.
+type Monitor struct {
+	net     *nn.Network
+	val     *Validator
+	epsilon float64
+
+	mu      sync.Mutex
+	checked int
+	flagged int
+	recent  []bool // ring buffer of recent validity flags
+	next    int
+	filled  bool
+}
+
+// recentWindow sizes the sliding alarm-rate window.
+const recentWindow = 50
+
+// Verdict is the outcome of one monitored prediction.
+type Verdict struct {
+	// Label and Confidence are the classifier's output.
+	Label      int
+	Confidence float64
+	// Discrepancy is the joint discrepancy d of Algorithm 2.
+	Discrepancy float64
+	// Valid is true when d ≤ ε: the prediction may be trusted.
+	Valid bool
+}
+
+// NewMonitor assembles a runtime monitor with detection threshold
+// epsilon.
+func NewMonitor(net *nn.Network, val *Validator, epsilon float64) (*Monitor, error) {
+	if net == nil || val == nil {
+		return nil, fmt.Errorf("core: monitor needs both a network and a validator")
+	}
+	if net.Classes != val.Classes {
+		return nil, fmt.Errorf("core: network has %d classes but validator was fitted for %d", net.Classes, val.Classes)
+	}
+	for _, l := range val.LayerIdx {
+		if l >= net.NumLayers()-1 {
+			return nil, fmt.Errorf("core: validator probes layer %d but network has %d hidden layers", l, net.NumLayers()-1)
+		}
+	}
+	return &Monitor{net: net, val: val, epsilon: epsilon, recent: make([]bool, recentWindow)}, nil
+}
+
+// CalibrateEpsilon sets ε so that at most the given fraction of the
+// provided clean samples is flagged (the false positive rate budget of
+// Section IV-D3), and returns the chosen value.
+func (m *Monitor) CalibrateEpsilon(clean []*tensor.Tensor, fpr float64) float64 {
+	scores := JointScores(m.val.ScoreBatch(m.net, clean))
+	eps := metrics.ThresholdForFPR(scores, fpr)
+	m.mu.Lock()
+	m.epsilon = eps
+	m.mu.Unlock()
+	return eps
+}
+
+// Epsilon returns the current detection threshold.
+func (m *Monitor) Epsilon() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epsilon
+}
+
+// SetEpsilon overrides the detection threshold.
+func (m *Monitor) SetEpsilon(eps float64) {
+	m.mu.Lock()
+	m.epsilon = eps
+	m.mu.Unlock()
+}
+
+// Check classifies x and validates the prediction.
+func (m *Monitor) Check(x *tensor.Tensor) Verdict {
+	res := m.val.Score(m.net, x)
+	m.mu.Lock()
+	valid := res.Joint < m.epsilon
+	m.checked++
+	if !valid {
+		m.flagged++
+	}
+	m.recent[m.next] = !valid
+	m.next = (m.next + 1) % len(m.recent)
+	if m.next == 0 {
+		m.filled = true
+	}
+	m.mu.Unlock()
+	return Verdict{
+		Label:       res.Label,
+		Confidence:  res.Confidence,
+		Discrepancy: res.Joint,
+		Valid:       valid,
+	}
+}
+
+// Stats reports lifetime counts and the alarm rate over the most recent
+// window — the signal a fail-safe supervisor watches for sustained
+// environmental drift.
+func (m *Monitor) Stats() (checked, flagged int, recentAlarmRate float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.next
+	if m.filled {
+		n = len(m.recent)
+	}
+	alarms := 0
+	for i := 0; i < n; i++ {
+		if m.recent[i] {
+			alarms++
+		}
+	}
+	rate := 0.0
+	if n > 0 {
+		rate = float64(alarms) / float64(n)
+	}
+	return m.checked, m.flagged, rate
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"deepvalidation/internal/tensor"
+)
+
+// FeatureReducer maps a layer activation to the feature vector its
+// one-class SVMs consume. Early convolutional taps are high-dimensional
+// (e.g. 8×28×28); average-pooling the spatial grid caps the kernel cost
+// while preserving the spatial-energy signature the validators key on.
+// The reducer is fitted per layer and serialized with the validator so
+// training and detection apply the identical mapping.
+type FeatureReducer struct {
+	// Pool is the spatial pooling window (1 = no pooling). It only
+	// applies to rank-3 (C,H,W) activations; flat activations pass
+	// through.
+	Pool int
+}
+
+// fitReducer picks the smallest pooling window that brings a (C,H,W)
+// activation of the given shape under maxFeatures.
+func fitReducer(shape []int, maxFeatures int) FeatureReducer {
+	if len(shape) != 3 || maxFeatures <= 0 {
+		return FeatureReducer{Pool: 1}
+	}
+	c, h, w := shape[0], shape[1], shape[2]
+	pool := 1
+	for c*ceilDiv(h, pool)*ceilDiv(w, pool) > maxFeatures && pool < h && pool < w {
+		pool++
+	}
+	return FeatureReducer{Pool: pool}
+}
+
+// Reduce converts an activation into the SVM feature vector.
+func (r FeatureReducer) Reduce(t *tensor.Tensor) []float64 {
+	if t.Rank() != 3 || r.Pool <= 1 {
+		out := make([]float64, t.Len())
+		copy(out, t.Data)
+		return out
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	oh, ow := ceilDiv(h, r.Pool), ceilDiv(w, r.Pool)
+	out := make([]float64, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		plane := t.Data[ch*h*w : (ch+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				n := 0
+				for y := oy * r.Pool; y < (oy+1)*r.Pool && y < h; y++ {
+					for x := ox * r.Pool; x < (ox+1)*r.Pool && x < w; x++ {
+						s += plane[y*w+x]
+						n++
+					}
+				}
+				out[(ch*oh+oy)*ow+ox] = s / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// OutDim returns the reduced dimensionality for an activation shape.
+func (r FeatureReducer) OutDim(shape []int) int {
+	if len(shape) != 3 || r.Pool <= 1 {
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		return n
+	}
+	return shape[0] * ceilDiv(shape[1], r.Pool) * ceilDiv(shape[2], r.Pool)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

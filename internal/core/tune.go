@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/tensor"
+)
+
+// NuCandidate reports one candidate ν's behaviour on held-out clean
+// validation data.
+type NuCandidate struct {
+	Nu float64
+	// CleanFlagRate is the fraction of clean validation samples whose
+	// joint discrepancy is positive — the detector's natural
+	// false-positive rate before any threshold calibration.
+	CleanFlagRate float64
+	// MeanJoint is the mean joint discrepancy on clean data (more
+	// negative = a roomier valid region).
+	MeanJoint float64
+}
+
+// TuneNu fits one validator per candidate ν and measures each on clean
+// validation data, mirroring the paper's parameter-selection protocol
+// ("we leave out 1000 examples as validation data", Section IV-C). It
+// returns the per-candidate statistics and the largest ν whose clean
+// flag rate stays within budget — the tightest support estimate that
+// still accepts normal traffic.
+func TuneNu(net *nn.Network, trainX []*tensor.Tensor, trainY []int,
+	valX []*tensor.Tensor, budget float64, base Config, candidates []float64) ([]NuCandidate, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, fmt.Errorf("core: no ν candidates")
+	}
+	if len(valX) == 0 {
+		return nil, 0, fmt.Errorf("core: no validation samples")
+	}
+	out := make([]NuCandidate, 0, len(candidates))
+	best := -1.0
+	for _, nu := range candidates {
+		if nu <= 0 || nu > 1 {
+			return nil, 0, fmt.Errorf("core: ν candidate %v outside (0, 1]", nu)
+		}
+		cfg := base
+		cfg.Nu = nu
+		v, err := Fit(net, trainX, trainY, cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: fitting ν=%v: %w", nu, err)
+		}
+		scores := JointScores(v.ScoreBatch(net, valX))
+		flagged := 0
+		mean := 0.0
+		for _, s := range scores {
+			if s > 0 {
+				flagged++
+			}
+			mean += s
+		}
+		c := NuCandidate{
+			Nu:            nu,
+			CleanFlagRate: float64(flagged) / float64(len(scores)),
+			MeanJoint:     mean / float64(len(scores)),
+		}
+		out = append(out, c)
+		if c.CleanFlagRate <= budget && nu > best {
+			best = nu
+		}
+	}
+	if best < 0 {
+		// Nothing met the budget; fall back to the candidate with the
+		// lowest clean flag rate.
+		bestRate := 2.0
+		for _, c := range out {
+			if c.CleanFlagRate < bestRate {
+				bestRate = c.CleanFlagRate
+				best = c.Nu
+			}
+		}
+	}
+	return out, best, nil
+}
+
+// ScoreBatchParallel scores many samples across a worker pool,
+// preserving input order. With workers ≤ 0 it uses GOMAXPROCS. The
+// validator and network are read-only during scoring, so this is safe.
+func (v *Validator) ScoreBatchParallel(net *nn.Network, xs []*tensor.Tensor, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		return v.ScoreBatch(net, xs)
+	}
+	out := make([]Result, len(xs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(xs) {
+					return
+				}
+				out[i] = v.Score(net, xs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

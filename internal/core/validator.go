@@ -1,0 +1,383 @@
+// Package core implements Deep Validation (paper Section III-B): it
+// fits per-layer, per-class one-class SVMs on the hidden representations
+// of correctly classified training images (Algorithm 1), and at
+// inference time scores a sample by its joint discrepancy — the sum over
+// validated layers of the negated signed distance to the reference
+// SVM of the *predicted* class (Algorithm 2, Eqs. 2–3). Samples whose
+// joint discrepancy exceeds a threshold ε are flagged as error-inducing
+// corner cases.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/svm"
+	"deepvalidation/internal/tensor"
+)
+
+// Config controls validator fitting.
+type Config struct {
+	// Nu is the one-class SVM ν for every layer (default 0.1).
+	Nu float64
+	// MaxPerClass caps the training samples per (layer, class) SVM;
+	// classes with more correctly classified images are subsampled with
+	// a deterministic stride (default 200).
+	MaxPerClass int
+	// MaxFeatures caps the SVM input dimensionality per layer via
+	// spatial average pooling (default 256).
+	MaxFeatures int
+	// Layers lists the tap indices to validate. Nil validates every
+	// hidden layer (taps 0..L-2), the paper's default; Section IV-C
+	// restricts DenseNet to the rear layers instead.
+	Layers []int
+	// Workers bounds the concurrent SVM fits (default GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig() Config {
+	return Config{Nu: 0.1, MaxPerClass: 200, MaxFeatures: 256}
+}
+
+// RearLayers returns a Config.Layers value selecting the last k hidden
+// layers of a network, the paper's DenseNet setting ("Deep Validation
+// only works on the last six layers of DenseNet").
+func RearLayers(net *nn.Network, k int) []int {
+	hidden := net.NumLayers() - 1
+	if k > hidden {
+		k = hidden
+	}
+	out := make([]int, 0, k)
+	for i := hidden - k; i < hidden; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Validator is a fitted Deep Validation detector. Fields are exported
+// for gob serialization; treat them as read-only after Fit.
+type Validator struct {
+	ModelName string
+	Classes   int
+	// LayerIdx lists the validated tap indices, ascending.
+	LayerIdx []int
+	// Reducers[i] maps activations of layer LayerIdx[i] to SVM features.
+	Reducers []FeatureReducer
+	// SVMs[i][k] is SVM(LayerIdx[i], class k) of Algorithm 1.
+	SVMs [][]*svm.OneClass
+	// Nu records the fitting parameter for reporting.
+	Nu float64
+	// NormMean/NormStd hold per-layer clean-data discrepancy statistics
+	// when FitNormalization has run; see NormalizedJoint.
+	NormMean []float64
+	NormStd  []float64
+}
+
+// Result is the outcome of scoring one sample (Algorithm 2).
+type Result struct {
+	// Label is the model's prediction y'.
+	Label int
+	// Confidence is the softmax probability of Label.
+	Confidence float64
+	// Layer[i] is d_i for validated layer LayerIdx[i]:
+	// −t(f_i(x)) per Eq. 2; positive means "outside the reference
+	// distribution".
+	Layer []float64
+	// Joint is Σ_i d_i (Eq. 3).
+	Joint float64
+}
+
+// Fit runs Algorithm 1: it drops misclassified training images, groups
+// the remaining hidden representations by true label per validated
+// layer, and trains one ν-one-class SVM per (layer, class). All SVMs
+// within one layer share the same parameters (Section IV-C), including
+// a common RBF bandwidth derived from the layer's pooled activations.
+func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*Validator, error) {
+	if len(trainX) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if len(trainX) != len(trainY) {
+		return nil, fmt.Errorf("core: %d samples but %d labels", len(trainX), len(trainY))
+	}
+	if cfg.Nu <= 0 {
+		cfg.Nu = 0.1
+	}
+	if cfg.MaxPerClass <= 0 {
+		cfg.MaxPerClass = 200
+	}
+	if cfg.MaxFeatures <= 0 {
+		cfg.MaxFeatures = 256
+	}
+	layers := cfg.Layers
+	if layers == nil {
+		for i := 0; i < net.NumLayers()-1; i++ {
+			layers = append(layers, i)
+		}
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("core: no layers selected for validation")
+	}
+	sorted := append([]int(nil), layers...)
+	sort.Ints(sorted)
+	for i, l := range sorted {
+		if l < 0 || l >= net.NumLayers()-1 {
+			return nil, fmt.Errorf("core: layer index %d outside hidden range [0, %d)", l, net.NumLayers()-1)
+		}
+		if i > 0 && sorted[i-1] == l {
+			return nil, fmt.Errorf("core: duplicate layer index %d", l)
+		}
+	}
+	layers = sorted
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Algorithm 1 line 2: keep only correctly classified images, and
+	// collect their reduced hidden representations in one tapped pass.
+	var reducers []FeatureReducer
+	feats := make([][][]float64, len(layers)) // [layerPos][kept sample] -> features
+	keptLabels := make([]int, 0, len(trainX))
+	for idx, x := range trainX {
+		probs, taps := net.ForwardTapped(x)
+		if probs.ArgMax() != trainY[idx] {
+			continue
+		}
+		if reducers == nil {
+			for _, l := range layers {
+				reducers = append(reducers, fitReducer(taps[l].Shape, cfg.MaxFeatures))
+			}
+		}
+		for p, l := range layers {
+			feats[p] = append(feats[p], reducers[p].Reduce(taps[l]))
+		}
+		keptLabels = append(keptLabels, trainY[idx])
+	}
+	if len(keptLabels) == 0 {
+		return nil, fmt.Errorf("core: model misclassifies every training sample; nothing to fit")
+	}
+
+	// Group sample indices by class and subsample deterministically.
+	byClass := make([][]int, net.Classes)
+	for i, y := range keptLabels {
+		byClass[y] = append(byClass[y], i)
+	}
+	for k := range byClass {
+		if len(byClass[k]) == 0 {
+			return nil, fmt.Errorf("core: class %d has no correctly classified training samples", k)
+		}
+		byClass[k] = stride(byClass[k], cfg.MaxPerClass)
+	}
+
+	v := &Validator{
+		ModelName: net.ModelName,
+		Classes:   net.Classes,
+		LayerIdx:  layers,
+		Reducers:  reducers,
+		SVMs:      make([][]*svm.OneClass, len(layers)),
+		Nu:        cfg.Nu,
+	}
+	for p := range layers {
+		v.SVMs[p] = make([]*svm.OneClass, net.Classes)
+	}
+
+	// One gamma per layer, shared by all its class SVMs.
+	gammas := make([]float64, len(layers))
+	for p := range layers {
+		gammas[p] = pooledScaleGamma(feats[p])
+	}
+
+	// Fan the (layer, class) fits across a worker pool; each fit is
+	// independent (the paper: "the training and validation pipeline can
+	// be parallelized based on our design").
+	type job struct{ p, k int }
+	jobs := make(chan job)
+	errs := make([]error, len(layers)*net.Classes)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				data := make([][]float64, 0, len(byClass[j.k]))
+				for _, i := range byClass[j.k] {
+					data = append(data, feats[j.p][i])
+				}
+				m, err := svm.Train(data, svm.Config{
+					Nu:     cfg.Nu,
+					Kernel: svm.KernelRBF,
+					Gamma:  gammas[j.p],
+				})
+				if err != nil {
+					errs[j.p*net.Classes+j.k] = fmt.Errorf("core: SVM(layer %d, class %d): %w", v.LayerIdx[j.p], j.k, err)
+					continue
+				}
+				v.SVMs[j.p][j.k] = m
+			}
+		}()
+	}
+	for p := range layers {
+		for k := 0; k < net.Classes; k++ {
+			jobs <- job{p, k}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// stride subsamples idx down to at most max entries with an even
+// stride, keeping coverage across the original ordering.
+func stride(idx []int, max int) []int {
+	if len(idx) <= max {
+		return idx
+	}
+	out := make([]int, 0, max)
+	step := float64(len(idx)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, idx[int(float64(i)*step)])
+	}
+	return out
+}
+
+// pooledScaleGamma computes the scikit-learn "scale" bandwidth over a
+// whole layer's features (all classes pooled), so every SVM in the
+// layer shares it.
+func pooledScaleGamma(rows [][]float64) float64 {
+	n := 0
+	mean := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			mean += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+	}
+	variance /= float64(n)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return 1 / (float64(len(rows[0])) * variance)
+}
+
+// Score runs Algorithm 2 on one sample: a single tapped forward pass,
+// then per-layer discrepancies against the SVMs of the predicted class.
+func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
+	probs, taps := net.ForwardTapped(x)
+	label := probs.ArgMax()
+	res := Result{
+		Label:      label,
+		Confidence: probs.Data[label],
+		Layer:      make([]float64, len(v.LayerIdx)),
+	}
+	for p, l := range v.LayerIdx {
+		d := -v.SVMs[p][label].Decision(v.Reducers[p].Reduce(taps[l]))
+		res.Layer[p] = d
+		res.Joint += d
+	}
+	return res
+}
+
+// WeightedJoint recomputes the joint discrepancy of a Result with
+// per-layer weights — the refinement Section IV-D3 suggests over the
+// unweighted sum. len(weights) must equal len(r.Layer).
+func (r Result) WeightedJoint(weights []float64) float64 {
+	if len(weights) != len(r.Layer) {
+		panic(fmt.Sprintf("core: %d weights for %d layers", len(weights), len(r.Layer)))
+	}
+	s := 0.0
+	for i, d := range r.Layer {
+		s += weights[i] * d
+	}
+	return s
+}
+
+// ScoreBatch scores many samples, returning results in input order.
+func (v *Validator) ScoreBatch(net *nn.Network, xs []*tensor.Tensor) []Result {
+	out := make([]Result, len(xs))
+	for i, x := range xs {
+		out[i] = v.Score(net, x)
+	}
+	return out
+}
+
+// JointScores extracts the joint discrepancies from a batch of results.
+func JointScores(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Joint
+	}
+	return out
+}
+
+// LayerScores extracts single-validator discrepancies for layer
+// position p (an index into LayerIdx, not a tap index).
+func LayerScores(rs []Result, p int) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Layer[p]
+	}
+	return out
+}
+
+// Encode writes the validator in gob format.
+func (v *Validator) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("core: encoding validator for %q: %w", v.ModelName, err)
+	}
+	return nil
+}
+
+// DecodeValidator reads a validator written by Encode.
+func DecodeValidator(r io.Reader) (*Validator, error) {
+	var v Validator
+	if err := gob.NewDecoder(r).Decode(&v); err != nil {
+		return nil, fmt.Errorf("core: decoding validator: %w", err)
+	}
+	return &v, nil
+}
+
+// Save writes the validator to a file.
+func (v *Validator) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: saving validator: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: closing %s: %w", path, cerr)
+		}
+	}()
+	return v.Encode(f)
+}
+
+// LoadValidator reads a validator from a file written by Save.
+func LoadValidator(path string) (*Validator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading validator: %w", err)
+	}
+	defer f.Close()
+	return DecodeValidator(f)
+}

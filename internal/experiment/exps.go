@@ -1,0 +1,396 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"deepvalidation/internal/core"
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/imgtrans"
+	"deepvalidation/internal/kde"
+	"deepvalidation/internal/metrics"
+	"deepvalidation/internal/squeeze"
+	"deepvalidation/internal/tensor"
+)
+
+// Table3 reproduces paper Table III: test accuracy and mean top-1
+// prediction confidence. With no arguments it covers all three models;
+// passing names restricts the scope (quick tests use the CNN
+// scenarios only).
+func (l *Lab) Table3(names ...string) (*Table, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	t := &Table{
+		Title:  "Table III — model accuracy on test data",
+		Header: []string{"Dataset", "Accuracy on Test Data", "Mean Top-1 Prediction Confidence"},
+	}
+	for _, name := range names {
+		s, err := l.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, s.TestAcc, s.TestConf)
+	}
+	t.Notes = append(t.Notes,
+		"synthetic stand-ins: digits≈MNIST, objects≈CIFAR-10 (DenseNet-lite), streetdigits≈SVHN")
+	return t, nil
+}
+
+// Table5 reproduces paper Table V for one scenario: the success rate
+// and mean wrong-prediction confidence of every transformation family.
+func (l *Lab) Table5(name string) (*Table, error) {
+	s, err := l.Scenario(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := l.Corpus(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table V — corner-case success rates (%s)", name),
+		Header: []string{"Transformation", "Configuration", "Success Rate", "Mean Top-1 Prediction Confidence"},
+	}
+	for _, fam := range FamilyOrder {
+		if set := c.Set(fam); set != nil {
+			t.AddRow(fam, set.Config, set.SuccessRate, set.MeanWrongConf)
+			continue
+		}
+		dropped := false
+		for _, d := range c.Dropped {
+			if d == fam {
+				dropped = true
+			}
+		}
+		if dropped || (fam == "complement" && !s.Grayscale) {
+			t.AddRow(fam, "-", "-", "-")
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("search stops at %.0f%% success; families below %.0f%% are dropped (Section IV-B)",
+			100*0.60, 100*0.30))
+	return t, nil
+}
+
+// Figure2 exports one example corner case per kept transformation of a
+// scenario as PGM/PPM files under dir, reproducing paper Figure 2.
+func (l *Lab) Figure2(name, dir string) ([]string, error) {
+	s, err := l.Scenario(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := l.Corpus(s)
+	if err != nil {
+		return nil, err
+	}
+	ext := ".ppm"
+	if s.Grayscale {
+		ext = ".pgm"
+	}
+	var written []string
+	// The seed image anchors the figure.
+	seedPath := filepath.Join(dir, name+"-seed"+ext)
+	if err := dataset.SavePNM(seedPath, c.SeedX[0]); err != nil {
+		return nil, err
+	}
+	written = append(written, seedPath)
+	for _, set := range c.Sets {
+		// Prefer a successful corner case derived from seed 0's family.
+		img := set.Images[0]
+		for i := range set.Images {
+			if set.Preds[i] != set.SeedLabels[i] {
+				img = set.Images[i]
+				break
+			}
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%s-%s%s", name, set.Family, ext))
+		if err := dataset.SavePNM(p, img); err != nil {
+			return nil, err
+		}
+		written = append(written, p)
+	}
+	return written, nil
+}
+
+// Fig3Data carries Figure 3's discrepancy distributions: normalized
+// joint discrepancies of clean images and SCCs plus their histograms.
+type Fig3Data struct {
+	Scenario   string
+	CleanNorm  []float64
+	SCCNorm    []float64
+	CleanHist  *metrics.Histogram
+	SCCHist    *metrics.Histogram
+	MeanClean  float64
+	MeanSCC    float64
+	SuggestEps float64
+}
+
+// Figure3 reproduces paper Figure 3 for one scenario: the distribution
+// of normalized joint discrepancies for legitimate images versus
+// successful corner cases, over 200 histogram bins.
+func (l *Lab) Figure3(name string) (*Fig3Data, error) {
+	s, err := l.Scenario(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := l.Corpus(s)
+	if err != nil {
+		return nil, err
+	}
+	scc := c.AllSCC()
+	cleanScores := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+	sccScores := core.JointScores(s.Validator.ScoreBatch(s.Net, scc))
+
+	// Normalize jointly so both curves share the x-axis, as in the
+	// paper's plots.
+	all := append(append([]float64{}, cleanScores...), sccScores...)
+	norm := metrics.Normalize(all)
+	cleanNorm := norm[:len(cleanScores)]
+	sccNorm := norm[len(cleanScores):]
+
+	ch, err := metrics.NewHistogram(cleanNorm, 200)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := metrics.NewHistogram(sccNorm, 200)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Data{
+		Scenario:   name,
+		CleanNorm:  cleanNorm,
+		SCCNorm:    sccNorm,
+		CleanHist:  ch,
+		SCCHist:    sh,
+		MeanClean:  metrics.Mean(cleanNorm),
+		MeanSCC:    metrics.Mean(sccNorm),
+		SuggestEps: (metrics.Mean(cleanNorm) + metrics.Mean(sccNorm)) / 2,
+	}, nil
+}
+
+// Summary renders Figure 3's content as a table (distribution centroids
+// and the suggested threshold ε at their midpoint, Section IV-D3).
+func (d *Fig3Data) Summary() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3 — discrepancy distributions (%s)", d.Scenario),
+		Header: []string{"Population", "N", "Mean (normalized)", "Suggested ε (midpoint)"},
+	}
+	t.AddRow("legitimate", len(d.CleanNorm), d.MeanClean, d.SuggestEps)
+	t.AddRow("SCC", len(d.SCCNorm), d.MeanSCC, d.SuggestEps)
+	return t
+}
+
+// Table6 reproduces paper Table VI for one scenario: ROC-AUC of every
+// single validator per transformation, the best transformation-specific
+// single validator, and the joint validator.
+func (l *Lab) Table6(name string) (*Table, error) {
+	s, err := l.Scenario(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := l.Corpus(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Score the full evaluation set once; reuse per-layer results.
+	cleanRes := s.Validator.ScoreBatch(s.Net, c.CleanX)
+	sccRes := make(map[string][]core.Result, len(c.Sets))
+	for _, set := range c.Sets {
+		sccRes[set.Family] = s.Validator.ScoreBatch(s.Net, set.SCC())
+	}
+	families := make([]string, 0, len(c.Sets))
+	for _, fam := range FamilyOrder {
+		if c.Set(fam) != nil {
+			families = append(families, fam)
+		}
+	}
+
+	nLayers := len(s.Validator.LayerIdx)
+	t := &Table{
+		Title:  fmt.Sprintf("Table VI — ROC-AUC of Deep Validation (%s)", name),
+		Header: append(append([]string{"Validator", "Layer"}, families...), "Overall"),
+	}
+
+	// Single validators: one row per validated layer.
+	bestPer := make([]float64, len(families))
+	for i := range bestPer {
+		bestPer[i] = math.Inf(-1)
+	}
+	bestOverall := math.Inf(-1)
+	for p := 0; p < nLayers; p++ {
+		row := []any{"Single Validator", fmt.Sprintf("%d", s.Validator.LayerIdx[p]+1)}
+		cleanLayer := core.LayerScores(cleanRes, p)
+		var pooled []float64
+		for fi, fam := range families {
+			sccLayer := core.LayerScores(sccRes[fam], p)
+			auc := metrics.AUC(sccLayer, cleanLayer)
+			if auc > bestPer[fi] {
+				bestPer[fi] = auc
+			}
+			row = append(row, auc)
+			pooled = append(pooled, sccLayer...)
+		}
+		overall := metrics.AUC(pooled, cleanLayer)
+		if overall > bestOverall {
+			bestOverall = overall
+		}
+		row = append(row, overall)
+		t.AddRow(row...)
+	}
+
+	// Best transformation-specific single validator.
+	row := []any{"Best Transformation-specific Single Validator", "-"}
+	for _, b := range bestPer {
+		row = append(row, b)
+	}
+	row = append(row, bestOverall)
+	t.AddRow(row...)
+
+	// Joint validator.
+	row = []any{"Joint Validator", "-"}
+	cleanJoint := core.JointScores(cleanRes)
+	var pooledJoint []float64
+	for _, fam := range families {
+		sccJoint := core.JointScores(sccRes[fam])
+		row = append(row, metrics.AUC(sccJoint, cleanJoint))
+		pooledJoint = append(pooledJoint, sccJoint...)
+	}
+	row = append(row, metrics.AUC(pooledJoint, cleanJoint))
+	t.AddRow(row...)
+
+	// Operating point quoted in Section IV-D3: TPR at a small FPR.
+	tpr, _ := metrics.TPRAtFPR(pooledJoint, cleanJoint, 0.05)
+	t.Notes = append(t.Notes, fmt.Sprintf("joint validator TPR at 5%% FPR: %.4f", tpr))
+	return t, nil
+}
+
+// Table7 reproduces paper Table VII: overall ROC-AUC on SCCs of Deep
+// Validation versus feature squeezing and kernel density estimation.
+// With no arguments it covers all three scenarios.
+func (l *Lab) Table7(names ...string) (*Table, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	t := &Table{
+		Title:  "Table VII — comparison with feature squeezing and kernel density estimation",
+		Header: []string{"Dataset", "Method", "Overall ROC-AUC Score (SCCs)"},
+	}
+	for _, name := range names {
+		s, err := l.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := l.Corpus(s)
+		if err != nil {
+			return nil, err
+		}
+		scc := c.AllSCC()
+
+		dvClean := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+		dvSCC := core.JointScores(s.Validator.ScoreBatch(s.Net, scc))
+		t.AddRow(name, "Deep Validation", metrics.AUC(dvSCC, dvClean))
+
+		fs := squeezerFor(s)
+		fsClean := fs.ScoreBatch(s.Net, c.CleanX)
+		fsSCC := fs.ScoreBatch(s.Net, scc)
+		t.AddRow(name, "Feature Squeezing", metrics.AUC(fsSCC, fsClean))
+
+		kd, err := kde.Fit(s.Net, s.Dataset.TrainX, s.Dataset.TrainY, kde.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		kdClean := kd.ScoreBatch(s.Net, c.CleanX)
+		kdSCC := kd.ScoreBatch(s.Net, scc)
+		t.AddRow(name, "Kernel Density Estimation", metrics.AUC(kdSCC, kdClean))
+	}
+	return t, nil
+}
+
+func squeezerFor(s *Scenario) *squeeze.Detector {
+	if s.Grayscale {
+		return squeeze.ForGreyscale()
+	}
+	return squeeze.ForColor()
+}
+
+// Fig4Point is one operating point of Figure 4's distortion sweep.
+type Fig4Point struct {
+	ScaleRatio  float64
+	SuccessRate float64
+	DVSCCRate   float64
+	DVFCCRate   float64
+	FSSCCRate   float64
+	FSFCCRate   float64
+	NumSCC      int
+}
+
+// Figure4 reproduces paper Figure 4: detection rates of Deep Validation
+// and feature squeezing on SCCs and FCCs under growing scale ratios,
+// with both detectors pinned to the same false positive rate on clean
+// data (the paper uses 0.059).
+func (l *Lab) Figure4(name string, fpr float64) ([]Fig4Point, error) {
+	s, err := l.Scenario(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := l.Corpus(s)
+	if err != nil {
+		return nil, err
+	}
+
+	dvClean := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+	fs := squeezerFor(s)
+	fsClean := fs.ScoreBatch(s.Net, c.CleanX)
+	dvThresh := metrics.ThresholdForFPR(dvClean, fpr)
+	fsThresh := metrics.ThresholdForFPR(fsClean, fpr)
+
+	var points []Fig4Point
+	for ratio := 1.0; ratio <= 3.0+1e-9; ratio += 0.25 {
+		tr := scaleTransform(ratio)
+		var sccX, fccX []*tensor.Tensor
+		for i, seed := range c.SeedX {
+			img := tr.Apply(seed)
+			pred, _ := s.Net.Predict(img)
+			if pred != c.SeedY[i] {
+				sccX = append(sccX, img)
+			} else {
+				fccX = append(fccX, img)
+			}
+		}
+		p := Fig4Point{
+			ScaleRatio:  ratio,
+			SuccessRate: float64(len(sccX)) / float64(len(c.SeedX)),
+			NumSCC:      len(sccX),
+		}
+		p.DVSCCRate = metrics.DetectionRate(core.JointScores(s.Validator.ScoreBatch(s.Net, sccX)), dvThresh)
+		p.DVFCCRate = metrics.DetectionRate(core.JointScores(s.Validator.ScoreBatch(s.Net, fccX)), dvThresh)
+		p.FSSCCRate = metrics.DetectionRate(fs.ScoreBatch(s.Net, sccX), fsThresh)
+		p.FSFCCRate = metrics.DetectionRate(fs.ScoreBatch(s.Net, fccX), fsThresh)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// Fig4Table renders the sweep as a table.
+func Fig4Table(name string, fpr float64, pts []Fig4Point) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 4 — detection rate vs scale ratio (%s, FPR %.3f)", name, fpr),
+		Header: []string{
+			"Scale Ratio", "Success Rate", "#SCC",
+			"DV SCC Rate", "DV FCC Rate", "FS SCC Rate", "FS FCC Rate",
+		},
+	}
+	for _, p := range pts {
+		t.AddRow(p.ScaleRatio, p.SuccessRate, p.NumSCC,
+			p.DVSCCRate, p.DVFCCRate, p.FSSCCRate, p.FSFCCRate)
+	}
+	return t
+}
+
+// scaleTransform builds the Figure 4 sweep transformation.
+func scaleTransform(ratio float64) imgtrans.Transform {
+	return imgtrans.Scale(ratio, ratio)
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReportConfig selects what WriteReport includes.
+type ReportConfig struct {
+	// Scenarios restricts per-dataset sections (nil = all three).
+	Scenarios []string
+	// Markdown switches table rendering from aligned text to markdown.
+	Markdown bool
+	// IncludeAttacks adds Table VIII (expensive: runs or loads the
+	// attack battery).
+	IncludeAttacks bool
+	// IncludeAblations adds the ablation sections (expensive: refits
+	// validators).
+	IncludeAblations bool
+}
+
+// WriteReport runs the full evaluation and writes a self-contained
+// report: every table in order, Figure 3's distribution plots, and the
+// Figure 4 sweep. Artifacts come from the lab's cache when available,
+// so regenerating a report after one full run is cheap.
+func (l *Lab) WriteReport(w io.Writer, cfg ReportConfig) error {
+	names := cfg.Scenarios
+	if names == nil {
+		names = ScenarioNames()
+	}
+	render := func(t *Table) {
+		if cfg.Markdown {
+			t.RenderMarkdown(w)
+		} else {
+			t.Render(w)
+		}
+	}
+
+	t3, err := l.Table3(names...)
+	if err != nil {
+		return fmt.Errorf("experiment: report table3: %w", err)
+	}
+	render(t3)
+
+	for _, name := range names {
+		t5, err := l.Table5(name)
+		if err != nil {
+			return fmt.Errorf("experiment: report table5(%s): %w", name, err)
+		}
+		render(t5)
+	}
+
+	for _, name := range names {
+		d, err := l.Figure3(name)
+		if err != nil {
+			return fmt.Errorf("experiment: report fig3(%s): %w", name, err)
+		}
+		if cfg.Markdown {
+			fmt.Fprintln(w, "```")
+		}
+		d.RenderHistograms(w, 78, 10)
+		if cfg.Markdown {
+			fmt.Fprintln(w, "```")
+		}
+		fmt.Fprintln(w)
+		render(d.Summary())
+	}
+
+	for _, name := range names {
+		t6, err := l.Table6(name)
+		if err != nil {
+			return fmt.Errorf("experiment: report table6(%s): %w", name, err)
+		}
+		render(t6)
+	}
+
+	t7, err := l.Table7(names...)
+	if err != nil {
+		return fmt.Errorf("experiment: report table7: %w", err)
+	}
+	render(t7)
+
+	if cfg.IncludeAttacks && contains(names, "digits") {
+		t8, err := l.Table8()
+		if err != nil {
+			return fmt.Errorf("experiment: report table8: %w", err)
+		}
+		render(t8)
+	}
+
+	if contains(names, "digits") {
+		const fpr = 0.059
+		pts, err := l.Figure4("digits", fpr)
+		if err != nil {
+			return fmt.Errorf("experiment: report fig4: %w", err)
+		}
+		render(Fig4Table("digits", fpr, pts))
+	}
+
+	if cfg.IncludeAblations {
+		for _, name := range names {
+			aw, err := l.AblationWeightedJoint(name)
+			if err != nil {
+				return fmt.Errorf("experiment: report ablation-weights(%s): %w", name, err)
+			}
+			render(aw)
+			an, err := l.AblationNormalizedJoint(name)
+			if err != nil {
+				return fmt.Errorf("experiment: report ablation-norm(%s): %w", name, err)
+			}
+			render(an)
+			en, err := l.ExtensionNovelTransforms(name)
+			if err != nil {
+				return fmt.Errorf("experiment: report ext-novel(%s): %w", name, err)
+			}
+			render(en)
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

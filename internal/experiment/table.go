@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted result table mirroring one of the paper's
+// tables or figures. Render produces aligned plain text.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (substitutions, parameters).
+	Notes []string
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v != v { // NaN: the paper's "-" cells
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && runeLen(c) > widths[i] {
+				widths[i] = runeLen(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	writeRow(w, t.Header, widths)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		writeRow(w, row, widths)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown, used to
+// assemble EXPERIMENTS.md from a lab run.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeRow(w io.Writer, cells []string, widths []int) {
+	for i, c := range cells {
+		pad := 0
+		if i < len(widths) {
+			pad = widths[i] - runeLen(c)
+		}
+		fmt.Fprint(w, c, strings.Repeat(" ", pad+2))
+	}
+	fmt.Fprintln(w)
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

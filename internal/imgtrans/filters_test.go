@@ -1,0 +1,95 @@
+package imgtrans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepvalidation/internal/tensor"
+)
+
+func TestGaussianBlurPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := tensor.New(1, 12, 12).FillUniform(rng, 0.3, 0.7)
+	out := GaussianBlur{Sigma: 1.5}.Apply(img)
+	// Edge replication keeps total intensity approximately constant.
+	if math.Abs(out.Sum()-img.Sum()) > 0.05*img.Sum() {
+		t.Fatalf("blur changed mass: %v -> %v", img.Sum(), out.Sum())
+	}
+}
+
+func TestGaussianBlurSmooths(t *testing.T) {
+	img := tensor.New(1, 11, 11)
+	img.Set(1, 0, 5, 5)
+	out := GaussianBlur{Sigma: 1}.Apply(img)
+	if out.At(0, 5, 5) >= 1 {
+		t.Fatal("peak not reduced")
+	}
+	if out.At(0, 5, 6) <= 0 {
+		t.Fatal("mass not spread to neighbours")
+	}
+	// Symmetry of the kernel.
+	if math.Abs(out.At(0, 5, 4)-out.At(0, 5, 6)) > 1e-12 {
+		t.Fatal("blur asymmetric")
+	}
+}
+
+func TestGaussianBlurZeroSigmaIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.New(2, 5, 5).FillUniform(rng, 0, 1)
+	out := GaussianBlur{Sigma: 0}.Apply(img)
+	if !out.AllClose(img, 0) {
+		t.Fatal("σ=0 blur changed the image")
+	}
+}
+
+func TestAdditiveNoiseDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := tensor.New(1, 8, 8).FillUniform(rng, 0.2, 0.8)
+	a := AdditiveNoise{Sigma: 0.1, Seed: 9}.Apply(img)
+	b := AdditiveNoise{Sigma: 0.1, Seed: 9}.Apply(img)
+	if !a.AllClose(b, 0) {
+		t.Fatal("same seed produced different noise")
+	}
+	c := AdditiveNoise{Sigma: 0.1, Seed: 10}.Apply(img)
+	if a.AllClose(c, 1e-12) {
+		t.Fatal("different seeds produced identical noise")
+	}
+	if a.Min() < 0 || a.Max() > 1 {
+		t.Fatal("noise escaped [0,1]")
+	}
+}
+
+func TestOcclusionBlanksPatch(t *testing.T) {
+	img := tensor.New(1, 8, 8).Fill(0.5)
+	out := Occlusion{X: 2, Y: 3, Size: 3, Fill: 0}.Apply(img)
+	if out.At(0, 3, 2) != 0 || out.At(0, 5, 4) != 0 {
+		t.Fatal("patch not blanked")
+	}
+	if out.At(0, 0, 0) != 0.5 || out.At(0, 7, 7) != 0.5 {
+		t.Fatal("pixels outside the patch changed")
+	}
+}
+
+func TestOcclusionClipsAtEdges(t *testing.T) {
+	img := tensor.New(1, 4, 4).Fill(1)
+	// Patch partially outside must not panic.
+	out := Occlusion{X: 3, Y: 3, Size: 4, Fill: 0}.Apply(img)
+	if out.At(0, 3, 3) != 0 {
+		t.Fatal("in-bounds corner not occluded")
+	}
+	neg := Occlusion{X: -2, Y: -2, Size: 3, Fill: 0}.Apply(img)
+	if neg.At(0, 0, 0) != 0 {
+		t.Fatal("negative-origin patch not applied in bounds")
+	}
+}
+
+func TestFilterDescriptions(t *testing.T) {
+	for _, tr := range []Transform{
+		GaussianBlur{Sigma: 1}, AdditiveNoise{Sigma: 0.1}, Occlusion{Size: 2},
+	} {
+		if tr.Name() == "" || tr.Describe() == "" {
+			t.Errorf("%T missing name/description", tr)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Confusion counts detector outcomes at a fixed threshold.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse evaluates positive (anomaly) and negative (clean) scores at a
+// threshold: scores at or above the threshold are flagged.
+func Confuse(pos, neg []float64, threshold float64) Confusion {
+	var c Confusion
+	for _, v := range pos {
+		if v >= threshold {
+			c.TP++
+		} else {
+			c.FN++
+		}
+	}
+	for _, v := range neg {
+		if v >= threshold {
+			c.FP++
+		} else {
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or NaN when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) — the detection rate on true anomalies.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPR returns FP/(FP+TN).
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return math.NaN()
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// AUPR computes the area under the precision-recall curve by the
+// step-wise (average-precision) rule, which is the standard estimator
+// for anomaly-detection comparisons with class imbalance.
+func AUPR(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+	type scored struct {
+		v   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, scored{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, scored{v, false})
+	}
+	// Descending by score; ties resolve with positives first, matching
+	// the optimistic convention; tie effects vanish for continuous
+	// scores.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].pos && !all[j].pos
+	})
+	tp, fp := 0, 0
+	ap := 0.0
+	for _, s := range all {
+		if s.pos {
+			tp++
+			ap += float64(tp) / float64(tp+fp)
+		} else {
+			fp++
+		}
+	}
+	return ap / float64(len(pos))
+}
+
+// WriteROCCSV writes the full ROC curve as CSV (threshold, fpr, tpr)
+// for external plotting.
+func WriteROCCSV(w io.Writer, pos, neg []float64) error {
+	if _, err := fmt.Fprintln(w, "threshold,fpr,tpr"); err != nil {
+		return fmt.Errorf("metrics: writing ROC CSV: %w", err)
+	}
+	for _, p := range ROC(pos, neg) {
+		if _, err := fmt.Fprintf(w, "%g,%g,%g\n", p.Threshold, p.FPR, p.TPR); err != nil {
+			return fmt.Errorf("metrics: writing ROC CSV: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfuse(t *testing.T) {
+	pos := []float64{0.9, 0.8, 0.2}
+	neg := []float64{0.1, 0.85}
+	c := Confuse(pos, neg, 0.5)
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+	if got := c.FPR(); got != 0.5 {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.6 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	for name, v := range map[string]float64{
+		"precision": c.Precision(), "recall": c.Recall(),
+		"f1": c.F1(), "fpr": c.FPR(), "accuracy": c.Accuracy(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty confusion = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestAUPRPerfect(t *testing.T) {
+	pos := []float64{3, 4, 5}
+	neg := []float64{0, 1, 2}
+	if got := AUPR(pos, neg); got != 1 {
+		t.Fatalf("perfect AUPR = %v", got)
+	}
+}
+
+func TestAUPRKnown(t *testing.T) {
+	// Descending ranking: pos(4), neg(3), pos(2), neg(1).
+	// AP = (1/1 + 2/3) / 2 = 5/6.
+	got := AUPR([]float64{4, 2}, []float64{3, 1})
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("AUPR = %v, want 5/6", got)
+	}
+}
+
+func TestAUPREmpty(t *testing.T) {
+	if !math.IsNaN(AUPR(nil, []float64{1})) {
+		t.Fatal("empty positives must give NaN")
+	}
+}
+
+// Property: AUPR ≥ prevalence (the random-classifier baseline) whenever
+// the positive scores stochastically dominate the negatives.
+func TestPropertyAUPRAboveBaseline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		pos := make([]float64, n)
+		neg := make([]float64, 2*n)
+		for i := range pos {
+			pos[i] = rng.NormFloat64() + 2
+		}
+		for i := range neg {
+			neg[i] = rng.NormFloat64()
+		}
+		prevalence := float64(n) / float64(3*n)
+		return AUPR(pos, neg) >= prevalence
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteROCCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteROCCSV(&buf, []float64{2, 3}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "threshold,fpr,tpr" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 5 { // header + 4 distinct thresholds
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestClassConfusion(t *testing.T) {
+	c := NewClassConfusion(3)
+	// true 0 predicted 0 twice, true 0 -> 1 once, true 2 -> 2 once.
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(2, 2)
+	if got := c.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	rec := c.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3) > 1e-12 || rec[1] != 0 || rec[2] != 1 {
+		t.Fatalf("recall = %v", rec)
+	}
+	truth, pred, count, ok := c.MostConfused()
+	if !ok || truth != 0 || pred != 1 || count != 1 {
+		t.Fatalf("most confused = (%d,%d,%d,%v)", truth, pred, count, ok)
+	}
+	var buf bytes.Buffer
+	c.Render(&buf, []string{"a", "b", "c"})
+	if !strings.Contains(buf.String(), "a") || !strings.Contains(buf.String(), "2") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestClassConfusionEmpty(t *testing.T) {
+	c := NewClassConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if _, _, _, ok := c.MostConfused(); ok {
+		t.Fatal("no errors yet")
+	}
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+
+	"deepvalidation/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	LayerName string
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mask := make([]bool, x.Len())
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	ctx.put(l, mask)
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	mask := mv.([]bool)
+	out := grad.Clone()
+	for i := range out.Data {
+		if !mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Softmax converts logits to a probability vector. It is the final layer
+// of every classifier in this repository (paper Section II-A: "the last
+// layer is a softmax layer").
+type Softmax struct {
+	LayerName string
+}
+
+// NewSoftmax constructs a softmax output layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{LayerName: name} }
+
+// Name implements Layer.
+func (l *Softmax) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Softmax) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Softmax) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Softmax) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := SoftmaxVector(x)
+	ctx.put(l, out.Clone())
+	return out
+}
+
+// Backward implements Layer. It applies the full softmax Jacobian,
+// dL/dz_i = y_i (g_i - Σ_j g_j y_j), so both the training loss and the
+// attack objectives can backpropagate through probabilities.
+func (l *Softmax) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	yv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	y := yv.(*tensor.Tensor)
+	dot := 0.0
+	for i, g := range grad.Data {
+		dot += g * y.Data[i]
+	}
+	out := tensor.New(y.Len())
+	for i := range out.Data {
+		out.Data[i] = y.Data[i] * (grad.Data[i] - dot)
+	}
+	return out
+}
+
+// SoftmaxVector computes a numerically stable softmax of a flat tensor
+// without touching any layer state.
+func SoftmaxVector(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Len())
+	m := x.Max()
+	sum := 0.0
+	for i, v := range x.Data {
+		e := math.Exp(v - m)
+		out.Data[i] = e
+		sum += e
+	}
+	for i := range out.Data {
+		out.Data[i] /= sum
+	}
+	return out
+}

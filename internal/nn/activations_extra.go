@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+
+	"deepvalidation/internal/tensor"
+)
+
+// Sigmoid applies 1/(1+e^{−x}) elementwise. The reference
+// architectures use ReLU, but custom models assembled from this
+// package may prefer saturating activations.
+type Sigmoid struct {
+	LayerName string
+}
+
+// NewSigmoid constructs a sigmoid activation layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{LayerName: name} }
+
+// Name implements Layer.
+func (l *Sigmoid) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	ctx.put(l, out.Clone())
+	return out
+}
+
+// Backward implements Layer.
+func (l *Sigmoid) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	yv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	y := yv.(*tensor.Tensor)
+	out := grad.Clone()
+	for i, g := range out.Data {
+		out.Data[i] = g * y.Data[i] * (1 - y.Data[i])
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	LayerName string
+}
+
+// NewTanh constructs a tanh activation layer.
+func NewTanh(name string) *Tanh { return &Tanh{LayerName: name} }
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Tanh) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Tanh) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := x.Map(math.Tanh)
+	ctx.put(l, out.Clone())
+	return out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	yv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	y := yv.(*tensor.Tensor)
+	out := grad.Clone()
+	for i, g := range out.Data {
+		out.Data[i] = g * (1 - y.Data[i]*y.Data[i])
+	}
+	return out
+}
+
+// LeakyReLU applies max(x, αx) elementwise, avoiding dead units in
+// very narrow models.
+type LeakyReLU struct {
+	LayerName string
+	Alpha     float64
+}
+
+// NewLeakyReLU constructs a leaky ReLU with slope alpha on the negative
+// side.
+func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
+	return &LeakyReLU{LayerName: name, Alpha: alpha}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *LeakyReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mask := make([]bool, x.Len())
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	ctx.put(l, mask)
+	return out
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	mask := mv.([]bool)
+	out := grad.Clone()
+	for i := range out.Data {
+		if !mask[i] {
+			out.Data[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Interface compliance checks.
+var (
+	_ Layer = (*Sigmoid)(nil)
+	_ Layer = (*Tanh)(nil)
+	_ Layer = (*LeakyReLU)(nil)
+)

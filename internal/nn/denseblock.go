@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepvalidation/internal/tensor"
+)
+
+// DenseBlock is a densely connected block in the DenseNet style (Huang
+// et al., CVPR 2017): each internal convolution sees the channel
+// concatenation of the block input and every earlier convolution's
+// output, and the block output is the full concatenation.
+//
+// Paper Section IV-C leans on exactly this property: "thanks to the
+// dense inter-connections between layers ... errors [that] happen in
+// the early layers can also smoothly propagate to the latter ones",
+// which justifies validating only the rear layers of the CIFAR-10
+// model. The block is a single validation tap.
+type DenseBlock struct {
+	LayerName string
+	InC       int
+	Growth    int
+	NConv     int
+	Norms     []*BatchNorm
+	Convs     []*Conv2D
+}
+
+// NewDenseBlock constructs a dense block with nConv BN→ReLU→Conv3×3
+// sub-layers of the given growth rate.
+func NewDenseBlock(name string, inC, growth, nConv int, rng *rand.Rand) *DenseBlock {
+	b := &DenseBlock{LayerName: name, InC: inC, Growth: growth, NConv: nConv}
+	for i := 0; i < nConv; i++ {
+		c := inC + i*growth
+		b.Norms = append(b.Norms, NewBatchNorm(fmt.Sprintf("%s.bn%d", name, i), c))
+		b.Convs = append(b.Convs, NewConv2D(fmt.Sprintf("%s.conv%d", name, i), c, growth, 3, 1, 1, rng))
+	}
+	return b
+}
+
+// Name implements Layer.
+func (l *DenseBlock) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *DenseBlock) Params() []*Param {
+	var ps []*Param
+	for i := range l.Convs {
+		ps = append(ps, l.Norms[i].Params()...)
+		ps = append(ps, l.Convs[i].Params()...)
+	}
+	return ps
+}
+
+// OutC returns the number of output channels of the block.
+func (l *DenseBlock) OutC() int { return l.InC + l.NConv*l.Growth }
+
+// OutShape implements Layer.
+func (l *DenseBlock) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != l.InC {
+		panic(fmt.Sprintf("nn: %s expects input (%d,H,W), got %v", l.LayerName, l.InC, in))
+	}
+	return []int{l.OutC(), in[1], in[2]}
+}
+
+// Forward implements Layer.
+func (l *DenseBlock) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	cat := x
+	for i := range l.Convs {
+		h := l.Norms[i].Forward(cat, ctx)
+		h = reluForwardKeyed(l, i, h, ctx)
+		out := l.Convs[i].Forward(h, ctx)
+		cat = concatChannels(cat, out)
+	}
+	ctx.put(l, x.Shape)
+	return cat
+}
+
+// Backward implements Layer.
+func (l *DenseBlock) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if _, ok := ctx.get(l); !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	h, w := grad.Shape[1], grad.Shape[2]
+	area := h * w
+
+	// acc holds the gradient with respect to the final concatenation
+	// [x, out_0, ..., out_{n-1}]; peeling sub-layers from the back
+	// accumulates their input gradients into the prefix.
+	acc := grad.Clone()
+	for i := l.NConv - 1; i >= 0; i-- {
+		prefixC := l.InC + i*l.Growth
+		gOut := tensor.From(acc.Data[prefixC*area:(prefixC+l.Growth)*area], l.Growth, h, w)
+		g := l.Convs[i].Backward(gOut, ctx)
+		g = reluBackwardKeyed(l, i, g, ctx)
+		g = l.Norms[i].Backward(g, ctx)
+		prefix := tensor.From(acc.Data[:prefixC*area], prefixC, h, w)
+		prefix.AddInPlace(g)
+		acc = tensor.From(acc.Data[:prefixC*area], prefixC, h, w)
+	}
+	return acc
+}
+
+// reluForwardKeyed applies ReLU, caching the mask under a composite key
+// so each sub-layer's mask is distinct within the block.
+func reluForwardKeyed(l *DenseBlock, i int, x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mask := make([]bool, x.Len())
+	out := x.Clone()
+	for j, v := range out.Data {
+		if v > 0 {
+			mask[j] = true
+		} else {
+			out.Data[j] = 0
+		}
+	}
+	ctx.put(blockReluKey{block: l, idx: i}, mask)
+	return out
+}
+
+func reluBackwardKeyed(l *DenseBlock, i int, grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mv, ok := ctx.get(blockReluKey{block: l, idx: i})
+	if !ok {
+		panic("nn: " + l.LayerName + ": ReLU Backward before Forward")
+	}
+	mask := mv.([]bool)
+	out := grad.Clone()
+	for j := range out.Data {
+		if !mask[j] {
+			out.Data[j] = 0
+		}
+	}
+	return out
+}
+
+// blockReluKey lets a DenseBlock cache several ReLU masks in one
+// Context. It satisfies Layer only so it can be used as a cache key;
+// none of its methods are ever called.
+type blockReluKey struct {
+	block *DenseBlock
+	idx   int
+}
+
+func (blockReluKey) Name() string                                         { return "denseblock.relu" }
+func (blockReluKey) OutShape(in []int) []int                              { return in }
+func (blockReluKey) Forward(x *tensor.Tensor, _ *Context) *tensor.Tensor  { return x }
+func (blockReluKey) Backward(g *tensor.Tensor, _ *Context) *tensor.Tensor { return g }
+func (blockReluKey) Params() []*Param                                     { return nil }
+
+// concatChannels concatenates two (C,H,W) tensors along the channel
+// axis; spatial dimensions must agree.
+func concatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Shape[1] != b.Shape[1] || a.Shape[2] != b.Shape[2] {
+		panic(fmt.Sprintf("nn: concatChannels spatial mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := tensor.New(a.Shape[0]+b.Shape[0], a.Shape[1], a.Shape[2])
+	copy(out.Data, a.Data)
+	copy(out.Data[a.Len():], b.Data)
+	return out
+}
+
+// NewTransition constructs the DenseNet between-block unit — BN → ReLU
+// → 1×1 Conv (channel compression) → 2×2 average pooling — as a single
+// composite validation tap.
+func NewTransition(name string, inC, outC int, rng *rand.Rand) *Seq {
+	return NewSeq(name,
+		NewBatchNorm(name+".bn", inC),
+		NewReLU(name+".relu"),
+		NewConv2D(name+".conv", inC, outC, 1, 1, 0, rng),
+		NewAvgPool2D(name+".pool", 2, 2),
+	)
+}

@@ -1,0 +1,32 @@
+package nn
+
+import (
+	"math"
+
+	"deepvalidation/internal/tensor"
+)
+
+// probFloor guards the cross-entropy logarithm and its gradient against
+// vanishing probabilities.
+const probFloor = 1e-12
+
+// CrossEntropy computes the negative log-likelihood of the true label
+// under a probability vector and the gradient of that loss with respect
+// to the probabilities. Combined with Softmax.Backward the overall
+// logit gradient is the familiar (p - onehot).
+func CrossEntropy(probs *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	p := probs.Data[label]
+	if p < probFloor {
+		p = probFloor
+	}
+	grad = tensor.New(probs.Len())
+	grad.Data[label] = -1 / p
+	return -math.Log(p), grad
+}
+
+// OneHot returns a length-n probability vector with all mass on label.
+func OneHot(n, label int) *tensor.Tensor {
+	t := tensor.New(n)
+	t.Data[label] = 1
+	return t
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+
+	"deepvalidation/internal/tensor"
+)
+
+// Flatten reshapes a (C,H,W) activation to a flat vector so dense layers
+// can follow convolutional ones.
+type Flatten struct {
+	LayerName string
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{LayerName: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	ctx.put(l, x.Shape)
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	sv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	return grad.Reshape(sv.([]int)...)
+}
+
+// Dropout zeroes a random fraction Rate of activations during training
+// and scales survivors by 1/(1-Rate) (inverted dropout), so inference
+// needs no rescaling. In inference contexts it is the identity.
+type Dropout struct {
+	LayerName string
+	Rate      float64
+}
+
+// NewDropout constructs a dropout layer; rate must be in [0, 1).
+func NewDropout(name string, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{LayerName: name, Rate: rate}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if !ctx.Training() || l.Rate == 0 {
+		ctx.put(l, []float64(nil))
+		return x
+	}
+	rng := ctx.Rand()
+	if rng == nil {
+		panic("nn: " + l.LayerName + ": training context has no random source")
+	}
+	keep := 1 - l.Rate
+	scale := 1 / keep
+	mask := make([]float64, x.Len())
+	out := x.Clone()
+	for i := range out.Data {
+		if rng.Float64() < keep {
+			mask[i] = scale
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	ctx.put(l, mask)
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	mv, ok := ctx.get(l)
+	if !ok {
+		panic("nn: " + l.LayerName + ": Backward before Forward")
+	}
+	mask := mv.([]float64)
+	if mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	for i, m := range mask {
+		out.Data[i] *= m
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package nn
+
+import "deepvalidation/internal/tensor"
+
+// Seq groups several layers into one composite unit. Deep Validation
+// probes layer *outputs* at the granularity the paper's tables use
+// (e.g. Table II counts "Convolution + ReLU + Max Pooling" as a single
+// layer), so networks are assembled from Seq units whose boundaries are
+// the validation tap points.
+type Seq struct {
+	LayerName string
+	Children  []Layer
+}
+
+// NewSeq constructs a composite layer running children in order.
+func NewSeq(name string, children ...Layer) *Seq {
+	return &Seq{LayerName: name, Children: children}
+}
+
+// Name implements Layer.
+func (l *Seq) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Seq) Params() []*Param {
+	var ps []*Param
+	for _, c := range l.Children {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (l *Seq) OutShape(in []int) []int {
+	shape := append([]int(nil), in...)
+	for _, c := range l.Children {
+		shape = c.OutShape(shape)
+	}
+	return shape
+}
+
+// Forward implements Layer.
+func (l *Seq) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	for _, c := range l.Children {
+		x = c.Forward(x, ctx)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (l *Seq) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	for i := len(l.Children) - 1; i >= 0; i-- {
+		grad = l.Children[i].Backward(grad, ctx)
+	}
+	return grad
+}

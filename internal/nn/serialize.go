@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// gobOnce registers the concrete layer types with encoding/gob exactly
+// once. Registration is lazy (rather than in an init function) so
+// importing nn stays side-effect free.
+var gobOnce sync.Once
+
+func registerGob() {
+	gobOnce.Do(func() {
+		gob.Register(&Conv2D{})
+		gob.Register(&Dense{})
+		gob.Register(&ReLU{})
+		gob.Register(&Softmax{})
+		gob.Register(&MaxPool2D{})
+		gob.Register(&AvgPool2D{})
+		gob.Register(&GlobalAvgPool{})
+		gob.Register(&Flatten{})
+		gob.Register(&Dropout{})
+		gob.Register(&BatchNorm{})
+		gob.Register(&Seq{})
+		gob.Register(&DenseBlock{})
+	})
+}
+
+// Encode writes the network to w in gob format.
+func (n *Network) Encode(w io.Writer) error {
+	registerGob()
+	if err := gob.NewEncoder(w).Encode(n); err != nil {
+		return fmt.Errorf("nn: encoding network %q: %w", n.ModelName, err)
+	}
+	return nil
+}
+
+// Decode reads a network from r.
+func Decode(r io.Reader) (*Network, error) {
+	registerGob()
+	var n Network
+	if err := gob.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	return &n, nil
+}
+
+// Save writes the network to a file, creating or truncating it.
+func (n *Network) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("nn: closing %s: %w", path, cerr)
+		}
+	}()
+	return n.Encode(f)
+}
+
+// Load reads a network from a file written by Save.
+func Load(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: loading network: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"deepvalidation/internal/tensor"
+)
+
+// quadratic is f(x) = Σ (x_i - target_i)², gradient 2(x - target).
+type quadratic struct {
+	target *tensor.Tensor
+}
+
+func (q quadratic) loss(x *tensor.Tensor) float64 {
+	s := 0.0
+	for i, v := range x.Data {
+		d := v - q.target.Data[i]
+		s += d * d
+	}
+	return s
+}
+
+func (q quadratic) grad(x *tensor.Tensor) *tensor.Tensor {
+	g := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		g.Data[i] = 2 * (v - q.target.Data[i])
+	}
+	return g
+}
+
+type stepper interface {
+	Step(name string, value, grad *tensor.Tensor)
+}
+
+func converges(t *testing.T, o stepper, iters int, tol float64) {
+	t.Helper()
+	q := quadratic{target: tensor.From([]float64{3, -1, 0.5}, 3)}
+	x := tensor.From([]float64{-5, 4, 2}, 3)
+	for i := 0; i < iters; i++ {
+		o.Step("x", x, q.grad(x))
+	}
+	if got := q.loss(x); got > tol {
+		t.Fatalf("loss after %d iters = %v, want < %v (x=%v)", iters, got, tol, x)
+	}
+}
+
+func TestSGDConverges(t *testing.T)         { converges(t, NewSGD(0.1, 0), 200, 1e-6) }
+func TestSGDMomentumConverges(t *testing.T) { converges(t, NewSGD(0.05, 0.9), 300, 1e-6) }
+func TestAdadeltaConverges(t *testing.T)    { converges(t, NewAdadelta(1.0, 0.95), 3000, 1e-3) }
+func TestAdamConverges(t *testing.T)        { converges(t, NewAdam(0.1), 500, 1e-6) }
+
+func TestSGDPlainStepExact(t *testing.T) {
+	o := NewSGD(0.5, 0)
+	x := tensor.From([]float64{1, 2}, 2)
+	g := tensor.From([]float64{2, -4}, 2)
+	o.Step("x", x, g)
+	if x.Data[0] != 0 || x.Data[1] != 4 {
+		t.Fatalf("SGD step = %v, want [0 4]", x.Data)
+	}
+}
+
+func TestOptimizersKeepPerParamState(t *testing.T) {
+	// Two parameters optimized with one Adam must not share moments:
+	// after identical gradients their values must match exactly.
+	o := NewAdam(0.01)
+	a := tensor.From([]float64{1}, 1)
+	b := tensor.From([]float64{1}, 1)
+	for i := 0; i < 10; i++ {
+		g := tensor.From([]float64{0.5}, 1)
+		o.Step("a", a, g)
+		o.Step("b", b, g.Clone())
+	}
+	if math.Abs(a.Data[0]-b.Data[0]) > 1e-15 {
+		t.Fatalf("independent params diverged: %v vs %v", a.Data[0], b.Data[0])
+	}
+}
+
+func TestAdamResetClearsState(t *testing.T) {
+	o := NewAdam(0.1)
+	x := tensor.From([]float64{1}, 1)
+	g := tensor.From([]float64{1}, 1)
+	o.Step("x", x, g)
+	first := 1 - x.Data[0]
+
+	o.Reset()
+	y := tensor.From([]float64{1}, 1)
+	o.Step("x", y, g.Clone())
+	second := 1 - y.Data[0]
+	if math.Abs(first-second) > 1e-15 {
+		t.Fatalf("post-Reset step %v differs from fresh step %v", second, first)
+	}
+}
+
+func TestAdadeltaFirstStepSmall(t *testing.T) {
+	// Adadelta's signature behaviour: the first update magnitude is
+	// ~sqrt(eps/( (1-rho) g² + eps )) · g, tiny for large gradients.
+	o := NewAdadelta(1.0, 0.95)
+	x := tensor.From([]float64{0}, 1)
+	o.Step("x", x, tensor.From([]float64{100}, 1))
+	if math.Abs(x.Data[0]) > 0.1 {
+		t.Fatalf("first Adadelta step too large: %v", x.Data[0])
+	}
+	if x.Data[0] >= 0 {
+		t.Fatalf("step direction wrong: %v (gradient positive, update must be negative)", x.Data[0])
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []fmt.Stringer{NewSGD(0.1, 0.9), NewAdadelta(1, 0.95), NewAdam(0.001)} {
+		if s.String() == "" {
+			t.Error("empty optimizer description")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package squeeze
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepvalidation/internal/tensor"
+)
+
+func TestBitDepthOneBit(t *testing.T) {
+	img := tensor.From([]float64{0.1, 0.49, 0.51, 0.9}, 1, 2, 2)
+	out := BitDepth{Bits: 1}.Apply(img)
+	want := []float64{0, 0, 1, 1}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("bit-1[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestBitDepthIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := tensor.New(1, 6, 6).FillUniform(rng, 0, 1)
+	s := BitDepth{Bits: 3}
+	once := s.Apply(img)
+	twice := s.Apply(once)
+	if !twice.AllClose(once, 0) {
+		t.Fatal("bit depth squeezing must be idempotent")
+	}
+	// Output is quantized to 2^3 levels.
+	for _, v := range once.Data {
+		q := v * 7
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			t.Fatalf("value %v not on the 3-bit grid", v)
+		}
+	}
+}
+
+func TestMedianRemovesSaltNoise(t *testing.T) {
+	img := tensor.New(1, 7, 7).Fill(0.2)
+	img.Set(1.0, 0, 3, 3) // single hot pixel
+	out := Median{K: 3}.Apply(img)
+	if got := out.At(0, 3, 3); got != 0.2 {
+		t.Fatalf("median at hot pixel = %v, want 0.2", got)
+	}
+}
+
+func TestMedianConstantInvariant(t *testing.T) {
+	img := tensor.New(3, 5, 5).Fill(0.7)
+	out := Median{K: 2}.Apply(img)
+	if !out.AllClose(img, 1e-12) {
+		t.Fatal("median of constant image changed values")
+	}
+}
+
+func TestMedianEvenWindow(t *testing.T) {
+	// 2×2 median = average of the two middle values of four samples.
+	img := tensor.From([]float64{
+		0, 1,
+		2, 3,
+	}, 1, 2, 2)
+	out := Median{K: 2}.Apply(img)
+	// At (0,0) the window (with top-left anchoring) covers all four
+	// pixels: sorted [0 1 2 3], median (1+2)/2 = 1.5.
+	if got := out.At(0, 0, 0); got != 1.5 {
+		t.Fatalf("even median = %v, want 1.5", got)
+	}
+}
+
+func TestNonLocalMeansSmoothsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.New(1, 12, 12).Fill(0.5)
+	noisy := img.Clone()
+	for i := range noisy.Data {
+		noisy.Data[i] += 0.1 * rng.NormFloat64()
+	}
+	out := NonLocalMeans{Search: 7, Patch: 3, H: 0.3}.Apply(noisy)
+	// Residual variance must shrink.
+	varOf := func(t_ *tensor.Tensor) float64 {
+		m := t_.Mean()
+		s := 0.0
+		for _, v := range t_.Data {
+			s += (v - m) * (v - m)
+		}
+		return s / float64(t_.Len())
+	}
+	if varOf(out) >= varOf(noisy) {
+		t.Fatalf("NL-means did not reduce variance: %v -> %v", varOf(noisy), varOf(out))
+	}
+}
+
+func TestNonLocalMeansConstantInvariant(t *testing.T) {
+	img := tensor.New(3, 8, 8).Fill(0.3)
+	out := NonLocalMeans{Search: 5, Patch: 3, H: 0.1}.Apply(img)
+	if !out.AllClose(img, 1e-9) {
+		t.Fatal("NL-means changed a constant image")
+	}
+}
+
+func TestSqueezersPreserveShapeAndInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := tensor.New(3, 9, 9).FillUniform(rng, 0, 1)
+	orig := img.Clone()
+	for _, s := range []Squeezer{
+		BitDepth{Bits: 4}, Median{K: 3}, NonLocalMeans{Search: 5, Patch: 3, H: 0.2},
+	} {
+		out := s.Apply(img)
+		if !out.SameShape(img) {
+			t.Fatalf("%s changed shape to %v", s.Name(), out.Shape)
+		}
+		if !img.AllClose(orig, 0) {
+			t.Fatalf("%s mutated its input", s.Name())
+		}
+		if s.Name() == "" {
+			t.Fatal("empty squeezer name")
+		}
+	}
+}
+
+func TestDetectorConfigurations(t *testing.T) {
+	g := ForGreyscale()
+	if len(g.Squeezers) != 2 {
+		t.Fatalf("greyscale squeezers = %d, want 2", len(g.Squeezers))
+	}
+	c := ForColor()
+	if len(c.Squeezers) != 3 {
+		t.Fatalf("color squeezers = %d, want 3", len(c.Squeezers))
+	}
+}

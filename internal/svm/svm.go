@@ -1,0 +1,335 @@
+// Package svm implements the ν-one-class support vector machine of
+// Schölkopf et al. (2001), "Estimating the support of a high-dimensional
+// distribution" — the estimator Deep Validation fits per (layer, class)
+// to model reference distributions (paper Section III-B2).
+//
+// The dual problem solved is the libsvm formulation:
+//
+//	min ½ αᵀQα   s.t.  0 ≤ αᵢ ≤ 1,  Σαᵢ = ν·l,   Q_ij = K(xᵢ, xⱼ)
+//
+// via sequential minimal optimization with maximal-violating-pair
+// working-set selection. The decision function
+//
+//	f(x) = Σ αᵢ K(xᵢ, x) − ρ
+//
+// is non-negative on the region holding most of the training mass and
+// negative outside — exactly the convention the paper's discrepancy
+// DISCREPANCY(y', f_i(x)) := −t(f_i(x)) expects (Eq. 2).
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// KernelKind selects the kernel function.
+type KernelKind string
+
+// Supported kernels.
+const (
+	KernelRBF    KernelKind = "rbf"
+	KernelLinear KernelKind = "linear"
+	KernelPoly   KernelKind = "poly"
+)
+
+// Config parameterizes training.
+type Config struct {
+	// Nu bounds the fraction of training outliers from above and the
+	// fraction of support vectors from below; must be in (0, 1].
+	Nu float64
+	// Kernel selects the kernel; RBF is the paper's setting.
+	Kernel KernelKind
+	// Gamma is the RBF bandwidth (also the polynomial scale). If 0,
+	// the scikit-learn "scale" heuristic 1/(d·Var(X)) is used.
+	Gamma float64
+	// Degree and Coef0 parameterize the polynomial kernel
+	// (γ·aᵀb + coef0)^degree; Degree defaults to 3.
+	Degree int
+	Coef0  float64
+	// Tol is the SMO stopping tolerance (default 1e-3).
+	Tol float64
+	// MaxIter caps SMO iterations (default 100·l, at least 10000).
+	MaxIter int
+}
+
+// DefaultConfig mirrors scikit-learn's OneClassSVM defaults, which the
+// paper's implementation used.
+func DefaultConfig() Config {
+	return Config{Nu: 0.1, Kernel: KernelRBF}
+}
+
+// OneClass is a trained one-class SVM. Fields are exported for gob
+// serialization of fitted validators; treat them as read-only.
+type OneClass struct {
+	Kind     KernelKind
+	Gamma    float64
+	Degree   int
+	Coef0    float64
+	Nu       float64
+	Support  [][]float64 // support vectors
+	Alpha    []float64   // dual coefficients of the support vectors
+	Rho      float64
+	Dim      int
+	TrainedN int
+	Iters    int
+}
+
+// Train fits a one-class SVM on the rows of data.
+func Train(data [][]float64, cfg Config) (*OneClass, error) {
+	l := len(data)
+	if l == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	d := len(data[0])
+	if d == 0 {
+		return nil, errors.New("svm: zero-dimensional training points")
+	}
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("svm: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: nu = %v outside (0, 1]", cfg.Nu)
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = KernelRBF
+	}
+	if cfg.Kernel != KernelRBF && cfg.Kernel != KernelLinear && cfg.Kernel != KernelPoly {
+		return nil, fmt.Errorf("svm: unknown kernel %q", cfg.Kernel)
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 3
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-3
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100 * l
+		if cfg.MaxIter < 10000 {
+			cfg.MaxIter = 10000
+		}
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 && cfg.Kernel != KernelLinear {
+		gamma = scaleGamma(data)
+	}
+
+	k := func(a, b []float64) float64 {
+		return kernel(cfg.Kernel, gamma, cfg.Degree, cfg.Coef0, a, b)
+	}
+
+	// Precompute the kernel matrix; Deep Validation caps per-SVM
+	// training sizes in the hundreds, so the l×l matrix is small.
+	q := make([][]float64, l)
+	for i := range q {
+		q[i] = make([]float64, l)
+		for j := 0; j <= i; j++ {
+			v := k(data[i], data[j])
+			q[i][j] = v
+			q[j][i] = v
+		}
+	}
+
+	// Initialize α per libsvm: the first ⌊νl⌋ points at the upper
+	// bound, the next taking the fractional remainder.
+	alpha := make([]float64, l)
+	total := cfg.Nu * float64(l)
+	n := int(total)
+	for i := 0; i < n && i < l; i++ {
+		alpha[i] = 1
+	}
+	if n < l {
+		alpha[n] = total - float64(n)
+	}
+
+	// Gradient G = Qα.
+	grad := make([]float64, l)
+	for i := 0; i < l; i++ {
+		s := 0.0
+		for j := 0; j < l; j++ {
+			if alpha[j] != 0 {
+				s += q[i][j] * alpha[j]
+			}
+		}
+		grad[i] = s
+	}
+
+	const tau = 1e-12
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		// Maximal violating pair: i maximizes −G over α<1 (can grow),
+		// j minimizes −G over α>0 (can shrink).
+		i, j := -1, -1
+		gmax, gmin := math.Inf(-1), math.Inf(1)
+		for t := 0; t < l; t++ {
+			if alpha[t] < 1 && -grad[t] > gmax {
+				gmax = -grad[t]
+				i = t
+			}
+			if alpha[t] > 0 && -grad[t] < gmin {
+				gmin = -grad[t]
+				j = t
+			}
+		}
+		if i < 0 || j < 0 || gmax-gmin < cfg.Tol {
+			break
+		}
+
+		a := q[i][i] + q[j][j] - 2*q[i][j]
+		if a <= 0 {
+			a = tau
+		}
+		delta := (grad[j] - grad[i]) / a // step increasing α_i, decreasing α_j
+		if delta > 0 {
+			if room := 1 - alpha[i]; delta > room {
+				delta = room
+			}
+			if alpha[j] < delta {
+				delta = alpha[j]
+			}
+		} else {
+			// The pair selection guarantees a descent direction with
+			// delta ≥ 0; numerical ties can give 0, which the progress
+			// check below treats as convergence.
+			delta = 0
+		}
+		if delta == 0 {
+			break
+		}
+		alpha[i] += delta
+		alpha[j] -= delta
+		for t := 0; t < l; t++ {
+			grad[t] += delta * (q[t][i] - q[t][j])
+		}
+	}
+
+	// ρ: average gradient over free support vectors, or the bound
+	// midpoint when none are free (libsvm's rule).
+	var rho float64
+	nFree := 0
+	sumFree := 0.0
+	ub, lb := math.Inf(1), math.Inf(-1)
+	for t := 0; t < l; t++ {
+		switch {
+		case alpha[t] > 0 && alpha[t] < 1:
+			nFree++
+			sumFree += grad[t]
+		case alpha[t] == 0:
+			if grad[t] < ub {
+				ub = grad[t]
+			}
+		default: // alpha == 1
+			if grad[t] > lb {
+				lb = grad[t]
+			}
+		}
+	}
+	if nFree > 0 {
+		rho = sumFree / float64(nFree)
+	} else {
+		if math.IsInf(ub, 1) {
+			ub = lb
+		}
+		if math.IsInf(lb, -1) {
+			lb = ub
+		}
+		rho = (ub + lb) / 2
+	}
+
+	m := &OneClass{
+		Kind:     cfg.Kernel,
+		Gamma:    gamma,
+		Degree:   cfg.Degree,
+		Coef0:    cfg.Coef0,
+		Nu:       cfg.Nu,
+		Rho:      rho,
+		Dim:      d,
+		TrainedN: l,
+		Iters:    iters,
+	}
+	for t := 0; t < l; t++ {
+		if alpha[t] > 0 {
+			sv := make([]float64, d)
+			copy(sv, data[t])
+			m.Support = append(m.Support, sv)
+			m.Alpha = append(m.Alpha, alpha[t])
+		}
+	}
+	return m, nil
+}
+
+// Decision evaluates f(x) = Σ αᵢK(xᵢ,x) − ρ: non-negative inside the
+// estimated support, negative outside.
+func (m *OneClass) Decision(x []float64) float64 {
+	if len(x) != m.Dim {
+		panic(fmt.Sprintf("svm: Decision input has %d features, model expects %d", len(x), m.Dim))
+	}
+	s := 0.0
+	for i, sv := range m.Support {
+		s += m.Alpha[i] * kernel(m.Kind, m.Gamma, m.Degree, m.Coef0, sv, x)
+	}
+	return s - m.Rho
+}
+
+// Predict returns +1 for inliers (Decision ≥ 0) and −1 for outliers.
+func (m *OneClass) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// NumSupport returns the number of support vectors.
+func (m *OneClass) NumSupport() int { return len(m.Support) }
+
+func kernel(kind KernelKind, gamma float64, degree int, coef0 float64, a, b []float64) float64 {
+	switch kind {
+	case KernelLinear:
+		return dot(a, b)
+	case KernelPoly:
+		return math.Pow(gamma*dot(a, b)+coef0, float64(degree))
+	default: // RBF
+		s := 0.0
+		for i, v := range a {
+			d := v - b[i]
+			s += d * d
+		}
+		return math.Exp(-gamma * s)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// scaleGamma implements scikit-learn's gamma="scale":
+// 1 / (n_features · Var(X)) with the variance pooled over all entries.
+func scaleGamma(data [][]float64) float64 {
+	d := len(data[0])
+	n := 0
+	mean := 0.0
+	for _, row := range data {
+		for _, v := range row {
+			mean += v
+			n++
+		}
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, row := range data {
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+	}
+	variance /= float64(n)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return 1 / (float64(d) * variance)
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution over an
+// input of size in with the given kernel size, stride, and symmetric
+// zero padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col unrolls a (C,H,W) image into a (C*kh*kw, outH*outW) matrix so
+// that a convolution becomes a single matrix multiply against a
+// (filters, C*kh*kw) weight matrix. Out-of-bounds taps read as zero
+// (zero padding).
+func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col input must be rank 3 (C,H,W), got %v", img.Shape))
+	}
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", img.Shape, kh, kw, stride, pad))
+	}
+	cols := New(c*kh*kw, outH*outW)
+	ncols := outH * outW
+	for ch := 0; ch < c; ch++ {
+		plane := img.Data[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := cols.Data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							row[idx] = plane[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatter-adds a (C*kh*kw, outH*outW) column matrix back into a
+// (C,H,W) image, the adjoint of Im2Col. Overlapping taps accumulate,
+// which makes it the correct backward pass for convolution inputs.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	if cols.Rank() != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with image (%d,%d,%d) kernel %dx%d stride %d pad %d",
+			cols.Shape, c, h, w, kh, kw, stride, pad))
+	}
+	img := New(c, h, w)
+	ncols := outH * outW
+	for ch := 0; ch < c; ch++ {
+		plane := img.Data[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := cols.Data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							plane[base+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvOutSize(t *testing.T) {
+	tests := []struct {
+		in, kernel, stride, pad, want int
+	}{
+		{28, 3, 1, 1, 28},
+		{28, 3, 1, 0, 26},
+		{28, 2, 2, 0, 14},
+		{32, 5, 1, 2, 32},
+		{7, 7, 1, 0, 1},
+	}
+	for _, tc := range tests {
+		if got := ConvOutSize(tc.in, tc.kernel, tc.stride, tc.pad); got != tc.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d",
+				tc.in, tc.kernel, tc.stride, tc.pad, got, tc.want)
+		}
+	}
+}
+
+// naiveConv computes a single-filter convolution directly, as ground
+// truth for the im2col + matmul path.
+func naiveConv(img *Tensor, w *Tensor, kh, kw, stride, pad int) *Tensor {
+	c, h, wd := img.Shape[0], img.Shape[1], img.Shape[2]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(wd, kw, stride, pad)
+	out := New(outH, outW)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			s := 0.0
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						iy := oy*stride - pad + ky
+						ix := ox*stride - pad + kx
+						if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+							continue
+						}
+						s += img.At(ch, iy, ix) * w.At(ch, ky, kx)
+					}
+				}
+			}
+			out.Set(s, oy, ox)
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	tests := []struct {
+		name                  string
+		c, h, w, kh, kw, s, p int
+	}{
+		{"3x3 pad1", 3, 8, 8, 3, 3, 1, 1},
+		{"3x3 nopad", 2, 7, 9, 3, 3, 1, 0},
+		{"5x5 stride2", 1, 11, 11, 5, 5, 2, 2},
+		{"1x1", 4, 6, 6, 1, 1, 1, 0},
+		{"rect kernel", 2, 9, 7, 3, 2, 1, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			img := New(tc.c, tc.h, tc.w).FillNormal(rng, 0, 1)
+			weight := New(tc.c, tc.kh, tc.kw).FillNormal(rng, 0, 1)
+
+			cols := Im2Col(img, tc.kh, tc.kw, tc.s, tc.p)
+			wRow := weight.Reshape(1, tc.c*tc.kh*tc.kw)
+			viaCols := MatMul(wRow, cols)
+
+			want := naiveConv(img, weight, tc.kh, tc.kw, tc.s, tc.p)
+			got := viaCols.Reshape(want.Shape[0], want.Shape[1])
+			if !got.AllClose(want, 1e-10) {
+				t.Fatal("im2col+matmul disagrees with naive convolution")
+			}
+		})
+	}
+}
+
+func TestIm2ColRankPanics(t *testing.T) {
+	defer expectPanic(t, "rank-3 input required")
+	Im2Col(New(8, 8), 3, 3, 1, 1)
+}
+
+func TestIm2ColEmptyOutputPanics(t *testing.T) {
+	defer expectPanic(t, "kernel larger than image")
+	Im2Col(New(1, 4, 4), 9, 9, 1, 0)
+}
+
+func TestCol2ImShapePanics(t *testing.T) {
+	defer expectPanic(t, "cols shape mismatch")
+	Col2Im(New(3, 3), 1, 8, 8, 3, 3, 1, 1)
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e.
+// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y. This is exactly the
+// condition for the convolution backward pass to be correct.
+func TestPropertyCol2ImAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, h, w := 1+rng.Intn(3), 4+rng.Intn(5), 4+rng.Intn(5)
+		kh, kw := 1+rng.Intn(3), 1+rng.Intn(3)
+		stride, pad := 1+rng.Intn(2), rng.Intn(2)
+
+		x := New(c, h, w).FillNormal(rng, 0, 1)
+		colsShape := Im2Col(x, kh, kw, stride, pad)
+		y := New(colsShape.Shape[0], colsShape.Shape[1]).FillNormal(rng, 0, 1)
+
+		lhs := colsShape.Dot(y)
+		rhs := x.Dot(Col2Im(y, c, h, w, kh, kw, stride, pad))
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImAccumulatesOverlaps(t *testing.T) {
+	// With a 2x2 kernel, stride 1, no pad on a 3x3 image, the center
+	// pixel is covered by all 4 windows; ones in cols must sum to 4.
+	cols := New(4, 4).Fill(1) // c*kh*kw = 4 rows, outH*outW = 4 cols
+	img := Col2Im(cols, 1, 3, 3, 2, 2, 1, 0)
+	if got := img.At(0, 1, 1); got != 4 {
+		t.Fatalf("center accumulation = %v, want 4", got)
+	}
+	if got := img.At(0, 0, 0); got != 1 {
+		t.Fatalf("corner accumulation = %v, want 1", got)
+	}
+}

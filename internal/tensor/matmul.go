@@ -1,0 +1,149 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes the matrix product a×b of two rank-2 tensors,
+// returning a new (rows(a) × cols(b)) tensor. The inner dimensions must
+// agree. The loop order is i-k-j so the innermost loop walks both
+// operands sequentially, which keeps the hot path cache-friendly without
+// resorting to assembly.
+func MatMul(a, b *Tensor) *Tensor {
+	checkRank2(a, "MatMul lhs")
+	checkRank2(b, "MatMul rhs")
+	m, ka := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	matMulInto(out.Data, a.Data, b.Data, m, ka, n)
+	return out
+}
+
+// MatMulInto computes dst = a×b, reusing dst's storage. dst must have
+// shape (rows(a) × cols(b)); its prior contents are overwritten.
+func MatMulInto(dst, a, b *Tensor) {
+	checkRank2(a, "MatMulInto lhs")
+	checkRank2(b, "MatMulInto rhs")
+	checkRank2(dst, "MatMulInto dst")
+	m, ka := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	matMulInto(dst.Data, a.Data, b.Data, m, ka, n)
+}
+
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes a × bᵀ for rank-2 tensors a (m×k) and b (n×k),
+// returning an m×n tensor. It avoids materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	checkRank2(a, "MatMulTransB lhs")
+	checkRank2(b, "MatMulTransB rhs")
+	m, ka := a.Shape[0], a.Shape[1]
+	n, kb := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %vᵀ", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		drow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*kb : (j+1)*kb]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA computes aᵀ × b for rank-2 tensors a (k×m) and b (k×n),
+// returning an m×n tensor. It avoids materializing the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	checkRank2(a, "MatMulTransA lhs")
+	checkRank2(b, "MatMulTransA rhs")
+	k, m := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if k != kb {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	checkRank2(a, "Transpose2D")
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec computes the matrix-vector product a×x for a rank-2 a (m×n) and
+// a length-n vector x, returning a length-m rank-1 tensor.
+func MatVec(a, x *Tensor) *Tensor {
+	checkRank2(a, "MatVec lhs")
+	m, n := a.Shape[0], a.Shape[1]
+	if x.Len() != n {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x vector(%d)", a.Shape, x.Len()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+func checkRank2(t *Tensor, what string) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s must be rank 2, got shape %v", what, t.Shape))
+	}
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulBasic(t *testing.T) {
+	a := From([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := From([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := From([]float64{58, 64, 139, 154}, 2, 2)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(5, 5).FillNormal(rng, 0, 1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if got := MatMul(a, id); !got.AllClose(a, 1e-12) {
+		t.Fatal("A x I != A")
+	}
+	if got := MatMul(id, a); !got.AllClose(a, 1e-12) {
+		t.Fatal("I x A != A")
+	}
+}
+
+func TestMatMulInnerMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "inner dimension mismatch")
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulRankPanics(t *testing.T) {
+	defer expectPanic(t, "rank check")
+	MatMul(New(2, 3, 1), New(3, 2))
+}
+
+func TestMatMulInto(t *testing.T) {
+	a := From([]float64{1, 2, 3, 4}, 2, 2)
+	b := From([]float64{5, 6, 7, 8}, 2, 2)
+	dst := New(2, 2).Fill(99) // prior contents must be overwritten
+	MatMulInto(dst, a, b)
+	want := MatMul(a, b)
+	if !dst.AllClose(want, 1e-12) {
+		t.Fatalf("MatMulInto = %v, want %v", dst, want)
+	}
+}
+
+func TestMatMulIntoBadDstPanics(t *testing.T) {
+	defer expectPanic(t, "dst shape")
+	MatMulInto(New(3, 3), New(2, 2), New(2, 2))
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := From([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := Transpose2D(a)
+	want := From([]float64{1, 4, 2, 5, 3, 6}, 3, 2)
+	if !got.AllClose(want, 0) {
+		t.Fatalf("Transpose2D = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(4, 7).FillNormal(rng, 0, 1)
+	b := New(3, 7).FillNormal(rng, 0, 1)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose2D(b))
+	if !got.AllClose(want, 1e-10) {
+		t.Fatal("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := New(7, 4).FillNormal(rng, 0, 1)
+	b := New(7, 3).FillNormal(rng, 0, 1)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose2D(a), b)
+	if !got.AllClose(want, 1e-10) {
+		t.Fatal("MatMulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := From([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := From([]float64{1, 0, -1}, 3)
+	got := MatVec(a, x)
+	want := From([]float64{-2, -2}, 2)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatalf("MatVec = %v, want %v", got, want)
+	}
+}
+
+func TestMatVecMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "dimension mismatch")
+	MatVec(New(2, 3), New(4))
+}
+
+// Property: matrix multiplication is associative within tolerance.
+func TestPropertyMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n, p := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(m, k).FillNormal(rng, 0, 1)
+		b := New(k, n).FillNormal(rng, 0, 1)
+		c := New(n, p).FillNormal(rng, 0, 1)
+		lhs := MatMul(MatMul(a, b), c)
+		rhs := MatMul(a, MatMul(b, c))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ.
+func TestPropertyMatMulTransposeRule(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := New(m, k).FillNormal(rng, 0, 1)
+		b := New(k, n).FillNormal(rng, 0, 1)
+		lhs := Transpose2D(MatMul(a, b))
+		rhs := MatMul(Transpose2D(b), Transpose2D(a))
+		return lhs.AllClose(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(64, 64).FillNormal(rng, 0, 1)
+	y := New(64, 64).FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkIm2Col28(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	img := New(8, 28, 28).FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(img, 3, 3, 1, 1)
+	}
+}
