@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test vet race check bench fuzz snapshot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the concurrency-bearing packages — the parallel Fit
+# collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, and
+# the experiment harness that drives them — under the race detector.
+race:
+	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment .
+
+# check is the CI gate: full build + tests, vet, and the race pass.
+check: build test vet race
+
+bench:
+	$(GO) test -bench 'BenchmarkFit|BenchmarkScoreBatch' -benchmem -run '^$$' .
+
+fuzz:
+	$(GO) test -fuzz FuzzImageValidate -fuzztime 30s -run '^$$' .
+
+# snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
+# for the parallel scoring & fitting pipeline.
+snapshot:
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchPipelineSnapshot -count=1 -v .

@@ -38,6 +38,7 @@ func run() error {
 		dsName   = flag.String("dataset", "", "restrict per-dataset experiments to one scenario")
 		outDir   = flag.String("out", "figures", "output directory for fig2 images")
 		format   = flag.String("format", "text", "table format: text or markdown")
+		workers  = flag.Int("workers", 0, "scoring/fitting worker bound (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func run() error {
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
 	}
 	lab := experiment.NewLab(sc, *cacheDir)
+	lab.Workers = *workers
 	if !*quiet {
 		lab.Log = os.Stderr
 	}

@@ -23,6 +23,7 @@ import (
 	"deepvalidation/internal/imgtrans"
 	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/tensor"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func runFit(args []string) error {
 		perClass  = fs.Int("max-per-class", 200, "SVM training samples per (layer, class)")
 		features  = fs.Int("max-features", 256, "SVM feature dimensionality cap")
 		layers    = fs.String("layers", "", `layers to validate: "" for all hidden, "rear:K", or comma-separated tap indices`)
+		workers   = fs.Int("workers", 0, "fitting worker bound (0 = GOMAXPROCS, 1 = sequential; the fitted validator is identical)")
 		out       = fs.String("out", "validator.gob", "output validator path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,7 +73,7 @@ func runFit(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features}
+	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features, Workers: *workers}
 	cfg.Layers, err = parseLayers(*layers, net)
 	if err != nil {
 		return err
@@ -105,6 +107,7 @@ func runScore(args []string) error {
 		dsSeed    = fs.Int64("data-seed", 1, "dataset seed (must match training)")
 		fpr       = fs.Float64("fpr", 0.05, "false positive rate budget for ε calibration")
 		rotate    = fs.Float64("rotate", 40, "rotation angle for the demonstration corner cases")
+		workers   = fs.Int("workers", 0, "scoring worker bound (0 = GOMAXPROCS, 1 = sequential; verdicts are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,13 +130,14 @@ func runScore(args []string) error {
 	if err != nil {
 		return err
 	}
+	mon.SetWorkers(*workers)
 	eps := mon.CalibrateEpsilon(ds.TestX, *fpr)
 	fmt.Printf("calibrated ε = %.4f at FPR ≤ %.3f on %d clean test images\n", eps, *fpr, len(ds.TestX))
 
-	// Clean pass.
+	// Clean pass, batched across the worker pool.
 	cleanValid := 0
-	for _, x := range ds.TestX {
-		if mon.Check(x).Valid {
+	for _, v := range mon.CheckBatch(ds.TestX) {
+		if v.Valid {
 			cleanValid++
 		}
 	}
@@ -142,11 +146,13 @@ func runScore(args []string) error {
 
 	// Transformed pass: rotation as the demonstration corner case.
 	tr := imgtrans.Rotation(*rotate)
+	transformed := make([]*tensor.Tensor, len(ds.TestX))
+	for i, x := range ds.TestX {
+		transformed[i] = tr.Apply(x)
+	}
 	flagged, wrong, wrongCaught := 0, 0, 0
 	var discrepancies []float64
-	for i, x := range ds.TestX {
-		img := tr.Apply(x)
-		v := mon.Check(img)
+	for i, v := range mon.CheckBatch(transformed) {
 		discrepancies = append(discrepancies, v.Discrepancy)
 		if !v.Valid {
 			flagged++

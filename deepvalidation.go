@@ -30,6 +30,7 @@ package deepvalidation
 
 import (
 	"fmt"
+	"math"
 
 	"deepvalidation/internal/tensor"
 )
@@ -44,13 +45,30 @@ type Image struct {
 	Pixels []float64
 }
 
-// Validate checks the image's invariants.
+// Validate checks the image's invariants: positive dimensions whose
+// product matches the pixel count without overflowing, and finite
+// pixel values (NaN or ±Inf pixels would silently poison every
+// downstream activation).
 func (im Image) Validate() error {
 	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 {
 		return fmt.Errorf("deepvalidation: non-positive image dimensions (%d,%d,%d)", im.Channels, im.Height, im.Width)
 	}
-	if want := im.Channels * im.Height * im.Width; len(im.Pixels) != want {
+	// Multiply with overflow guards: adversarial dimensions like
+	// (2^32, 2^32, 1) must not wrap around to a plausible pixel count.
+	want := im.Channels
+	for _, d := range [...]int{im.Height, im.Width} {
+		if want > math.MaxInt/d {
+			return fmt.Errorf("deepvalidation: image dimensions (%d,%d,%d) overflow", im.Channels, im.Height, im.Width)
+		}
+		want *= d
+	}
+	if len(im.Pixels) != want {
 		return fmt.Errorf("deepvalidation: image has %d pixels, want %d", len(im.Pixels), want)
+	}
+	for i, p := range im.Pixels {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("deepvalidation: pixel %d is %v; pixels must be finite", i, p)
+		}
 	}
 	return nil
 }

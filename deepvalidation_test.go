@@ -205,6 +205,63 @@ func TestLoadMissing(t *testing.T) {
 	}
 }
 
+func TestDetectorCheckBatch(t *testing.T) {
+	// A private detector: CheckBatch mutates Stats, and the shared
+	// fixture's lifecycle test asserts exact counts.
+	rng := rand.New(rand.NewSource(14))
+	xs, ys := bandImages(rng, 120)
+	det, err := Build(xs, ys, BuildConfig{
+		Classes: 3, Epochs: 10, Width: 4, FCWidth: 16,
+		SVMPerClass: 40, SVMFeatures: 64, Seed: 5, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := bandImages(rng, 30)
+	if _, err := det.Calibrate(clean, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	probe, _ := bandImages(rng, 20)
+	batch, err := det.CheckBatch(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(probe) {
+		t.Fatalf("%d verdicts for %d images", len(batch), len(probe))
+	}
+	// Verdicts are stat-independent, so sequential Check on the same
+	// detector must reproduce the batch exactly, in input order.
+	for i, im := range probe {
+		want, err := det.Check(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("image %d: CheckBatch %+v != Check %+v", i, batch[i], want)
+		}
+	}
+
+	if empty, err := det.CheckBatch(nil); err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %d verdicts", err, len(empty))
+	}
+	bad := append([]Image(nil), probe...)
+	bad[3] = Image{Channels: 3, Height: 8, Width: 8, Pixels: make([]float64, 192)}
+	if _, err := det.CheckBatch(bad); err == nil {
+		t.Fatal("wrong-geometry image accepted in batch")
+	}
+	det.SetWorkers(1)
+	seq, err := det.CheckBatch(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != batch[i] {
+			t.Fatalf("image %d: workers=1 verdict differs from parallel", i)
+		}
+	}
+}
+
 func TestCheckDoesNotMutateInput(t *testing.T) {
 	det := builtDetector(t)
 	px := make([]float64, 64)

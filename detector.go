@@ -48,6 +48,11 @@ type BuildConfig struct {
 	SVMPerClass, SVMFeatures int
 	// Seed makes the whole build deterministic (default 1).
 	Seed int64
+	// Workers bounds the concurrency of validator fitting and of
+	// CheckBatch/Calibrate scoring (0 = GOMAXPROCS, 1 = sequential).
+	// Any value yields bit-identical results; pin it to 1 for
+	// single-threaded reproducibility audits.
+	Workers int
 	// Progress, when non-nil, receives per-epoch training updates.
 	Progress func(epoch int, loss, accuracy float64)
 }
@@ -108,11 +113,17 @@ func Build(images []Image, labels []int, cfg BuildConfig) (*Detector, error) {
 		Nu:          cfg.Nu,
 		MaxPerClass: cfg.SVMPerClass,
 		MaxFeatures: cfg.SVMFeatures,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return assemble(net, val)
+	det, err := assemble(net, val)
+	if err != nil {
+		return nil, err
+	}
+	det.SetWorkers(cfg.Workers)
+	return det, nil
 }
 
 // Load restores a detector from files written by Save.
@@ -184,6 +195,39 @@ func (d *Detector) Check(img Image) (Verdict, error) {
 		Discrepancy: v.Discrepancy,
 		Valid:       v.Valid,
 	}, nil
+}
+
+// SetWorkers bounds the worker pool CheckBatch and Calibrate use
+// (0 = GOMAXPROCS, 1 = sequential). Results are identical for every
+// setting; only throughput changes.
+func (d *Detector) SetWorkers(n int) { d.mon.SetWorkers(n) }
+
+// CheckBatch classifies and validates many images concurrently,
+// returning verdicts in input order. Verdicts — and the detector's
+// Stats — are exactly those of sequential Check calls over the same
+// images; the batch just fans the scoring across the configured worker
+// pool.
+func (d *Detector) CheckBatch(imgs []Image) ([]Verdict, error) {
+	xs, err := tensorsOf(imgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range xs {
+		if err := d.net.CheckInput(x); err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+	}
+	verdicts := d.mon.CheckBatch(xs)
+	out := make([]Verdict, len(verdicts))
+	for i, v := range verdicts {
+		out[i] = Verdict{
+			Label:       v.Label,
+			Confidence:  v.Confidence,
+			Discrepancy: v.Discrepancy,
+			Valid:       v.Valid,
+		}
+	}
+	return out, nil
 }
 
 // Stats reports how many inputs were checked and flagged since the

@@ -592,20 +592,102 @@ func TestTuneNuValidation(t *testing.T) {
 	}
 }
 
-func TestScoreBatchParallelMatchesSerial(t *testing.T) {
+func TestScoreBatchMatchesSequentialScore(t *testing.T) {
 	net, xs, ys := trainedToyModel(t)
 	v := fitToyValidator(t, net, xs, ys)
-	serial := v.ScoreBatch(net, xs[:30])
-	parallel := v.ScoreBatchParallel(net, xs[:30], 4)
-	for i := range serial {
-		if serial[i].Joint != parallel[i].Joint || serial[i].Label != parallel[i].Label {
-			t.Fatalf("sample %d differs: %+v vs %+v", i, serial[i], parallel[i])
+
+	// Ground truth: one sequential Score call per sample.
+	want := make([]Result, 30)
+	for i := range want {
+		want[i] = v.Score(net, xs[i])
+	}
+
+	for _, workers := range []int{0, 1, 2, 4, 8, 64} {
+		got := v.ScoreBatchWorkers(net, xs[:30], workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results for %d samples", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Label != want[i].Label || got[i].Confidence != want[i].Confidence ||
+				got[i].Joint != want[i].Joint {
+				t.Fatalf("workers=%d sample %d differs: %+v vs %+v", workers, i, got[i], want[i])
+			}
+			for p := range want[i].Layer {
+				if got[i].Layer[p] != want[i].Layer[p] {
+					t.Fatalf("workers=%d sample %d layer %d differs", workers, i, p)
+				}
+			}
 		}
 	}
-	// Degenerate worker counts fall back cleanly.
-	one := v.ScoreBatchParallel(net, xs[:5], 0)
-	if len(one) != 5 {
-		t.Fatal("auto workers returned wrong length")
+
+	// Degenerate batches must round-trip through the pool untouched.
+	if got := v.ScoreBatch(net, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	if got := v.ScoreBatchWorkers(net, nil, 8); len(got) != 0 {
+		t.Fatalf("empty batch with workers returned %d results", len(got))
+	}
+	single := v.ScoreBatchWorkers(net, xs[:1], 8)
+	if len(single) != 1 || single[0].Joint != want[0].Joint {
+		t.Fatalf("single-element batch differs: %+v vs %+v", single, want[0])
+	}
+}
+
+func TestSaveLoadPreservesBatchScores(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	fixed := xs[:40]
+	want := JointScores(v.ScoreBatch(net, fixed))
+
+	path := filepath.Join(t.TempDir(), "validator.gob")
+	if err := v.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadValidator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := JointScores(loaded.ScoreBatch(net, fixed))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: loaded validator Joint %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonitorCheckBatchMatchesCheck(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+
+	seq, err := NewMonitor(net, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := seq.CalibrateEpsilon(xs[:40], 0.1)
+
+	par, err := NewMonitor(net, v, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(4)
+	if par.Workers() != 4 {
+		t.Fatal("SetWorkers not stored")
+	}
+
+	batch := par.CheckBatch(xs[:50])
+	for i, x := range xs[:50] {
+		want := seq.Check(x)
+		if batch[i] != want {
+			t.Fatalf("sample %d: CheckBatch %+v != Check %+v", i, batch[i], want)
+		}
+	}
+	sc, sf, sr := seq.Stats()
+	pc, pf, pr := par.Stats()
+	if sc != pc || sf != pf || sr != pr {
+		t.Fatalf("stats diverge: seq (%d,%d,%v) vs batch (%d,%d,%v)", sc, sf, sr, pc, pf, pr)
+	}
+	if empty := par.CheckBatch(nil); len(empty) != 0 {
+		t.Fatalf("empty CheckBatch returned %d verdicts", len(empty))
 	}
 }
 

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deepvalidation/internal/dataset"
+	"deepvalidation/internal/nn"
+	"deepvalidation/internal/opt"
+	"deepvalidation/internal/tensor"
+)
+
+// The digits fixture backs the determinism tests: a small CNN trained
+// on the MNIST stand-in, shared read-only across tests.
+var digitsFixture struct {
+	once sync.Once
+	net  *nn.Network
+	xs   []*tensor.Tensor
+	ys   []int
+	err  error
+}
+
+func trainedDigitsModel(t *testing.T) (*nn.Network, []*tensor.Tensor, []int) {
+	t.Helper()
+	digitsFixture.once.Do(func() {
+		ds := dataset.Digits(dataset.Config{TrainN: 400, TestN: 0, Seed: 1})
+		rng := rand.New(rand.NewSource(71))
+		net, err := nn.NewSevenLayerCNN("digits", ds.InC, ds.Size, ds.Classes,
+			nn.ArchConfig{Width: 4, FCWidth: 24}, rng)
+		if err != nil {
+			digitsFixture.err = err
+			return
+		}
+		tr := nn.NewTrainer(net, opt.NewAdadelta(1.0, 0.95), rand.New(rand.NewSource(72)))
+		tr.BatchSize = 32
+		tr.Workers = 4
+		if _, err := tr.Train(ds.TrainX, ds.TrainY, 6); err != nil {
+			digitsFixture.err = err
+			return
+		}
+		digitsFixture.net, digitsFixture.xs, digitsFixture.ys = net, ds.TrainX, ds.TrainY
+	})
+	if digitsFixture.err != nil {
+		t.Fatal(digitsFixture.err)
+	}
+	return digitsFixture.net, digitsFixture.xs, digitsFixture.ys
+}
+
+func encodeValidator(t *testing.T, v *Validator) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := v.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFitDeterministicAcrossWorkers is the pipeline's core guarantee:
+// the parallel collection pass and the SVM fit pool merge in input
+// order, so the fitted validator is bit-identical no matter how many
+// workers ran it.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	net, xs, ys := trainedDigitsModel(t)
+	cfg := Config{Nu: 0.1, MaxPerClass: 25, MaxFeatures: 64}
+
+	cfg.Workers = 1
+	seq, err := Fit(net, xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Fit(net, xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural spot checks first, for a readable failure.
+	if len(seq.LayerIdx) != len(par.LayerIdx) {
+		t.Fatalf("layer counts differ: %d vs %d", len(seq.LayerIdx), len(par.LayerIdx))
+	}
+	for p := range seq.LayerIdx {
+		if seq.LayerIdx[p] != par.LayerIdx[p] {
+			t.Fatalf("layer order differs at %d: %d vs %d", p, seq.LayerIdx[p], par.LayerIdx[p])
+		}
+		if seq.Reducers[p] != par.Reducers[p] {
+			t.Fatalf("reducer %d differs: %+v vs %+v", p, seq.Reducers[p], par.Reducers[p])
+		}
+		for k := range seq.SVMs[p] {
+			if seq.SVMs[p][k].NumSupport() != par.SVMs[p][k].NumSupport() {
+				t.Fatalf("SVM(%d,%d) support counts differ: %d vs %d",
+					seq.LayerIdx[p], k, seq.SVMs[p][k].NumSupport(), par.SVMs[p][k].NumSupport())
+			}
+		}
+	}
+
+	// The real bar: the gob encodings are byte-identical.
+	if !bytes.Equal(encodeValidator(t, seq), encodeValidator(t, par)) {
+		t.Fatal("Workers:1 and Workers:8 validators encode differently")
+	}
+}
+
+// TestFitRepeatableAtFixedWorkers guards against per-run nondeterminism
+// (map iteration, scheduler-order leaks) at a fixed worker count.
+func TestFitRepeatableAtFixedWorkers(t *testing.T) {
+	net, xs, ys := trainedDigitsModel(t)
+	cfg := Config{Nu: 0.1, MaxPerClass: 25, MaxFeatures: 64, Workers: 8}
+	a, err := Fit(net, xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(net, xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeValidator(t, a), encodeValidator(t, b)) {
+		t.Fatal("two Workers:8 fits encode differently")
+	}
+}

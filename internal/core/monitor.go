@@ -20,6 +20,7 @@ type Monitor struct {
 	epsilon float64
 
 	mu      sync.Mutex
+	workers int
 	checked int
 	flagged int
 	recent  []bool // ring buffer of recent validity flags
@@ -58,11 +59,27 @@ func NewMonitor(net *nn.Network, val *Validator, epsilon float64) (*Monitor, err
 	return &Monitor{net: net, val: val, epsilon: epsilon, recent: make([]bool, recentWindow)}, nil
 }
 
+// SetWorkers bounds the worker pool CheckBatch and CalibrateEpsilon
+// use (0 = GOMAXPROCS, 1 = sequential). Single-sample Check always runs
+// on the calling goroutine.
+func (m *Monitor) SetWorkers(n int) {
+	m.mu.Lock()
+	m.workers = n
+	m.mu.Unlock()
+}
+
+// Workers returns the configured batch worker bound.
+func (m *Monitor) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers
+}
+
 // CalibrateEpsilon sets ε so that at most the given fraction of the
 // provided clean samples is flagged (the false positive rate budget of
 // Section IV-D3), and returns the chosen value.
 func (m *Monitor) CalibrateEpsilon(clean []*tensor.Tensor, fpr float64) float64 {
-	scores := JointScores(m.val.ScoreBatch(m.net, clean))
+	scores := JointScores(m.val.ScoreBatchWorkers(m.net, clean, m.Workers()))
 	eps := metrics.ThresholdForFPR(scores, fpr)
 	m.mu.Lock()
 	m.epsilon = eps
@@ -105,6 +122,37 @@ func (m *Monitor) Check(x *tensor.Tensor) Verdict {
 		Discrepancy: res.Joint,
 		Valid:       valid,
 	}
+}
+
+// CheckBatch classifies and validates many samples, returning verdicts
+// in input order. Scoring fans across the monitor's worker pool; the
+// lifetime statistics are then updated once, in input order, so Stats
+// after CheckBatch is identical to a sequential sequence of Check
+// calls.
+func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
+	results := m.val.ScoreBatchWorkers(m.net, xs, m.Workers())
+	out := make([]Verdict, len(results))
+	m.mu.Lock()
+	for i, res := range results {
+		valid := res.Joint < m.epsilon
+		m.checked++
+		if !valid {
+			m.flagged++
+		}
+		m.recent[m.next] = !valid
+		m.next = (m.next + 1) % len(m.recent)
+		if m.next == 0 {
+			m.filled = true
+		}
+		out[i] = Verdict{
+			Label:       res.Label,
+			Confidence:  res.Confidence,
+			Discrepancy: res.Joint,
+			Valid:       valid,
+		}
+	}
+	m.mu.Unlock()
+	return out
 }
 
 // Stats reports lifetime counts and the alarm rate over the most recent

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/tensor"
@@ -48,7 +46,7 @@ func TuneNu(net *nn.Network, trainX []*tensor.Tensor, trainY []int,
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: fitting ν=%v: %w", nu, err)
 		}
-		scores := JointScores(v.ScoreBatch(net, valX))
+		scores := JointScores(v.ScoreBatchWorkers(net, valX, cfg.Workers))
 		flagged := 0
 		mean := 0.0
 		for _, s := range scores {
@@ -79,41 +77,4 @@ func TuneNu(net *nn.Network, trainX []*tensor.Tensor, trainY []int,
 		}
 	}
 	return out, best, nil
-}
-
-// ScoreBatchParallel scores many samples across a worker pool,
-// preserving input order. With workers ≤ 0 it uses GOMAXPROCS. The
-// validator and network are read-only during scoring, so this is safe.
-func (v *Validator) ScoreBatchParallel(net *nn.Network, xs []*tensor.Tensor, workers int) []Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
-	if workers <= 1 {
-		return v.ScoreBatch(net, xs)
-	}
-	out := make([]Result, len(xs))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(xs) {
-					return
-				}
-				out[i] = v.Score(net, xs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return out
 }

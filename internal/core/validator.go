@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/svm"
@@ -142,21 +143,39 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 
 	// Algorithm 1 line 2: keep only correctly classified images, and
 	// collect their reduced hidden representations in one tapped pass.
-	var reducers []FeatureReducer
+	// The reducers depend only on tap shapes, so they are sized up front
+	// from the input geometry; the per-sample passes then fan across the
+	// worker pool and merge in input order, making the fitted validator
+	// independent of the worker count.
+	tapShapes := net.TapShapes(trainX[0].Shape)
+	reducers := make([]FeatureReducer, len(layers))
+	for p, l := range layers {
+		reducers[p] = fitReducer(tapShapes[l], cfg.MaxFeatures)
+	}
+
+	// collected[idx] is nil for misclassified samples, else the per-layer
+	// reduced features of trainX[idx].
+	collected := make([][][]float64, len(trainX))
+	forEachIndex(len(trainX), workers, func(idx int) {
+		probs, taps := net.ForwardTapped(trainX[idx])
+		if probs.ArgMax() != trainY[idx] {
+			return
+		}
+		fs := make([][]float64, len(layers))
+		for p, l := range layers {
+			fs[p] = reducers[p].Reduce(taps[l])
+		}
+		collected[idx] = fs
+	})
+
 	feats := make([][][]float64, len(layers)) // [layerPos][kept sample] -> features
 	keptLabels := make([]int, 0, len(trainX))
-	for idx, x := range trainX {
-		probs, taps := net.ForwardTapped(x)
-		if probs.ArgMax() != trainY[idx] {
+	for idx, fs := range collected {
+		if fs == nil {
 			continue
 		}
-		if reducers == nil {
-			for _, l := range layers {
-				reducers = append(reducers, fitReducer(taps[l].Shape, cfg.MaxFeatures))
-			}
-		}
-		for p, l := range layers {
-			feats[p] = append(feats[p], reducers[p].Reduce(taps[l]))
+		for p := range layers {
+			feats[p] = append(feats[p], fs[p])
 		}
 		keptLabels = append(keptLabels, trainY[idx])
 	}
@@ -313,13 +332,59 @@ func (r Result) WeightedJoint(weights []float64) float64 {
 	return s
 }
 
-// ScoreBatch scores many samples, returning results in input order.
+// ScoreBatch scores many samples across a bounded worker pool sized to
+// GOMAXPROCS, returning results in input order. Scoring is read-only on
+// both the validator and the network, so the samples are independent;
+// use ScoreBatchWorkers to pin the pool size (1 = sequential).
 func (v *Validator) ScoreBatch(net *nn.Network, xs []*tensor.Tensor) []Result {
+	return v.ScoreBatchWorkers(net, xs, 0)
+}
+
+// ScoreBatchWorkers scores many samples with an explicit worker bound,
+// preserving input order. workers ≤ 0 uses GOMAXPROCS; workers == 1
+// runs sequentially on the calling goroutine. Every worker count yields
+// identical results.
+func (v *Validator) ScoreBatchWorkers(net *nn.Network, xs []*tensor.Tensor, workers int) []Result {
 	out := make([]Result, len(xs))
-	for i, x := range xs {
-		out[i] = v.Score(net, x)
-	}
+	forEachIndex(len(xs), workers, func(i int) {
+		out[i] = v.Score(net, xs[i])
+	})
 	return out
+}
+
+// forEachIndex runs fn(0..n-1) across a bounded worker pool. workers
+// ≤ 0 uses GOMAXPROCS; the pool never exceeds n goroutines, and with a
+// single worker fn runs inline on the caller. fn must be safe to call
+// concurrently for distinct indices.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // JointScores extracts the joint discrepancies from a batch of results.

@@ -25,8 +25,8 @@ func (l *Lab) AblationWeightedJoint(name string) (*Table, error) {
 		return nil, err
 	}
 	scc := c.AllSCC()
-	cleanRes := s.Validator.ScoreBatch(s.Net, c.CleanX)
-	sccRes := s.Validator.ScoreBatch(s.Net, scc)
+	cleanRes := l.score(s, c.CleanX)
+	sccRes := l.score(s, scc)
 
 	nLayers := len(s.Validator.LayerIdx)
 	// Per-layer standalone AUCs drive the weights.
@@ -138,8 +138,8 @@ func (l *Lab) AblationRearLayers(name string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cs := core.JointScores(val.ScoreBatch(s.Net, c.CleanX))
-		ss := core.JointScores(val.ScoreBatch(s.Net, scc))
+		cs := core.JointScores(val.ScoreBatchWorkers(s.Net, c.CleanX, l.Workers))
+		ss := core.JointScores(val.ScoreBatchWorkers(s.Net, scc, l.Workers))
 		t.AddRow(k, metrics.AUC(ss, cs), k*s.Net.Classes)
 	}
 	return t, nil
@@ -175,8 +175,8 @@ func (l *Lab) AblationNu(name string, nus []float64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cs := core.JointScores(val.ScoreBatch(s.Net, c.CleanX))
-		ss := core.JointScores(val.ScoreBatch(s.Net, scc))
+		cs := core.JointScores(val.ScoreBatchWorkers(s.Net, c.CleanX, l.Workers))
+		ss := core.JointScores(val.ScoreBatchWorkers(s.Net, scc, l.Workers))
 		t.AddRow(nu, metrics.AUC(ss, cs))
 	}
 	return t, nil
@@ -207,8 +207,8 @@ func (l *Lab) AblationNormalizedJoint(name string) (*Table, error) {
 	if err := val.FitNormalization(s.Net, c.CleanX[:half]); err != nil {
 		return nil, err
 	}
-	cleanRes := val.ScoreBatch(s.Net, c.CleanX[half:])
-	sccRes := val.ScoreBatch(s.Net, scc)
+	cleanRes := val.ScoreBatchWorkers(s.Net, c.CleanX[half:], l.Workers)
+	sccRes := val.ScoreBatchWorkers(s.Net, scc, l.Workers)
 
 	t := &Table{
 		Title:  fmt.Sprintf("Ablation — raw vs normalized joint discrepancy (%s)", name),
@@ -236,7 +236,7 @@ func (l *Lab) ExtensionNovelTransforms(name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cleanScores := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+	cleanScores := core.JointScores(l.score(s, c.CleanX))
 
 	size := s.Dataset.Size
 	novel := []imgtrans.Transform{
@@ -253,7 +253,7 @@ func (l *Lab) ExtensionNovelTransforms(name string) (*Table, error) {
 		sccImgs, _ := g.SCC()
 		auc := math.NaN()
 		if len(sccImgs) > 0 {
-			auc = metrics.AUC(core.JointScores(s.Validator.ScoreBatch(s.Net, sccImgs)), cleanScores)
+			auc = metrics.AUC(core.JointScores(l.score(s, sccImgs)), cleanScores)
 		}
 		t.AddRow(tr.Describe(), g.SuccessRate, auc)
 	}

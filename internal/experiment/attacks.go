@@ -150,7 +150,7 @@ func (l *Lab) Table8() (*Table, error) {
 	}
 
 	fs := squeezerFor(s)
-	dvClean := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+	dvClean := core.JointScores(l.score(s, c.CleanX))
 	fsClean := fs.ScoreBatch(s.Net, c.CleanX)
 
 	t := &Table{
@@ -164,9 +164,9 @@ func (l *Lab) Table8() (*Table, error) {
 
 	var allSAEdv, allSAEfs, allAEdv, allAEfs []float64
 	for _, o := range suite {
-		dvSAE := core.JointScores(s.Validator.ScoreBatch(s.Net, o.SAE))
+		dvSAE := core.JointScores(l.score(s, o.SAE))
 		fsSAE := fs.ScoreBatch(s.Net, o.SAE)
-		dvFAE := core.JointScores(s.Validator.ScoreBatch(s.Net, o.FAE))
+		dvFAE := core.JointScores(l.score(s, o.FAE))
 		fsFAE := fs.ScoreBatch(s.Net, o.FAE)
 
 		dvAE := append(append([]float64{}, dvSAE...), dvFAE...)

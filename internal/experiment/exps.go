@@ -140,8 +140,8 @@ func (l *Lab) Figure3(name string) (*Fig3Data, error) {
 		return nil, err
 	}
 	scc := c.AllSCC()
-	cleanScores := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
-	sccScores := core.JointScores(s.Validator.ScoreBatch(s.Net, scc))
+	cleanScores := core.JointScores(l.score(s, c.CleanX))
+	sccScores := core.JointScores(l.score(s, scc))
 
 	// Normalize jointly so both curves share the x-axis, as in the
 	// paper's plots.
@@ -196,10 +196,10 @@ func (l *Lab) Table6(name string) (*Table, error) {
 	}
 
 	// Score the full evaluation set once; reuse per-layer results.
-	cleanRes := s.Validator.ScoreBatch(s.Net, c.CleanX)
+	cleanRes := l.score(s, c.CleanX)
 	sccRes := make(map[string][]core.Result, len(c.Sets))
 	for _, set := range c.Sets {
-		sccRes[set.Family] = s.Validator.ScoreBatch(s.Net, set.SCC())
+		sccRes[set.Family] = l.score(s, set.SCC())
 	}
 	families := make([]string, 0, len(c.Sets))
 	for _, fam := range FamilyOrder {
@@ -289,8 +289,8 @@ func (l *Lab) Table7(names ...string) (*Table, error) {
 		}
 		scc := c.AllSCC()
 
-		dvClean := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
-		dvSCC := core.JointScores(s.Validator.ScoreBatch(s.Net, scc))
+		dvClean := core.JointScores(l.score(s, c.CleanX))
+		dvSCC := core.JointScores(l.score(s, scc))
 		t.AddRow(name, "Deep Validation", metrics.AUC(dvSCC, dvClean))
 
 		fs := squeezerFor(s)
@@ -341,7 +341,7 @@ func (l *Lab) Figure4(name string, fpr float64) ([]Fig4Point, error) {
 		return nil, err
 	}
 
-	dvClean := core.JointScores(s.Validator.ScoreBatch(s.Net, c.CleanX))
+	dvClean := core.JointScores(l.score(s, c.CleanX))
 	fs := squeezerFor(s)
 	fsClean := fs.ScoreBatch(s.Net, c.CleanX)
 	dvThresh := metrics.ThresholdForFPR(dvClean, fpr)
@@ -365,8 +365,8 @@ func (l *Lab) Figure4(name string, fpr float64) ([]Fig4Point, error) {
 			SuccessRate: float64(len(sccX)) / float64(len(c.SeedX)),
 			NumSCC:      len(sccX),
 		}
-		p.DVSCCRate = metrics.DetectionRate(core.JointScores(s.Validator.ScoreBatch(s.Net, sccX)), dvThresh)
-		p.DVFCCRate = metrics.DetectionRate(core.JointScores(s.Validator.ScoreBatch(s.Net, fccX)), dvThresh)
+		p.DVSCCRate = metrics.DetectionRate(core.JointScores(l.score(s, sccX)), dvThresh)
+		p.DVFCCRate = metrics.DetectionRate(core.JointScores(l.score(s, fccX)), dvThresh)
 		p.FSSCCRate = metrics.DetectionRate(fs.ScoreBatch(s.Net, sccX), fsThresh)
 		p.FSFCCRate = metrics.DetectionRate(fs.ScoreBatch(s.Net, fccX), fsThresh)
 		points = append(points, p)

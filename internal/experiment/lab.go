@@ -22,6 +22,7 @@ import (
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/opt"
+	"deepvalidation/internal/tensor"
 )
 
 // Scale sizes every experiment. FullScale approximates the paper's
@@ -97,6 +98,11 @@ type Lab struct {
 	CacheDir string
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Workers bounds the scoring and fitting worker pools
+	// (0 = GOMAXPROCS, 1 = sequential). Results are identical for every
+	// setting, so it is deliberately excluded from the artifact cache
+	// fingerprint.
+	Workers int
 
 	scenarios map[string]*Scenario
 	corpora   map[string]*Corpus
@@ -105,6 +111,12 @@ type Lab struct {
 // NewLab returns a Lab at the given scale caching under dir.
 func NewLab(scale Scale, dir string) *Lab {
 	return &Lab{Scale: scale, CacheDir: dir, scenarios: map[string]*Scenario{}, corpora: map[string]*Corpus{}}
+}
+
+// score runs a scenario's fitted validator over xs with the lab's
+// worker bound, preserving input order.
+func (l *Lab) score(s *Scenario, xs []*tensor.Tensor) []core.Result {
+	return s.Validator.ScoreBatchWorkers(s.Net, xs, l.Workers)
 }
 
 func (l *Lab) logf(format string, args ...any) {
@@ -226,6 +238,7 @@ func (l *Lab) build(s *Scenario) error {
 		Nu:          sc.Nu,
 		MaxPerClass: sc.SVMPerClass,
 		MaxFeatures: sc.SVMFeatures,
+		Workers:     l.Workers,
 	}
 	if s.Name == "objects" {
 		vcfg.Layers = core.RearLayers(net, 6)

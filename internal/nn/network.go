@@ -97,6 +97,20 @@ func (n *Network) ForwardTapped(x *tensor.Tensor) (probs *tensor.Tensor, taps []
 	return x, taps
 }
 
+// TapShapes returns the output shape of every tap-level layer for an
+// input of the given shape, without running any data through the
+// network. Deep Validation uses it to size its feature reducers before
+// fanning the tapped forward passes across workers.
+func (n *Network) TapShapes(in []int) [][]int {
+	shapes := make([][]int, 0, len(n.Layers))
+	shape := in
+	for _, l := range n.Layers {
+		shape = l.OutShape(shape)
+		shapes = append(shapes, shape)
+	}
+	return shapes
+}
+
 // Logits runs one sample and returns the pre-softmax activations,
 // assuming the final layer is (or ends with) a softmax. The white-box
 // attacks of Section IV-D5 need these.
