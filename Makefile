@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz snapshot
+.PHONY: build test vet race check bench fuzz snapshot smoke
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,21 @@ vet:
 	$(GO) vet ./...
 
 # race exercises the concurrency-bearing packages — the parallel Fit
-# collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, and
-# the experiment harness that drives them — under the race detector.
+# collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, the
+# telemetry registry they all observe into, and the experiment harness
+# that drives them — under the race detector.
 race:
-	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment .
+	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry .
 
-# check is the CI gate: full build + tests, vet, and the race pass.
-check: build test vet race
+# smoke runs the end-to-end observability check: train a tiny model,
+# score with the metrics endpoint bound to an ephemeral port, and
+# scrape /metrics, /debug/vars, and /debug/pprof/.
+smoke:
+	./scripts/telemetry_smoke.sh
+
+# check is the CI gate: full build + tests, vet, the race pass, and the
+# telemetry smoke run.
+check: build test vet race smoke
 
 bench:
 	$(GO) test -bench 'BenchmarkFit|BenchmarkScoreBatch' -benchmem -run '^$$' .

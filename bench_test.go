@@ -19,6 +19,7 @@ import (
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/experiment"
+	"deepvalidation/internal/telemetry"
 )
 
 var benchLab struct {
@@ -272,6 +273,31 @@ func BenchmarkScoreBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreBatchTelemetry is BenchmarkScoreBatch with a live
+// metrics registry attached — the acceptance bar is <5% regression
+// versus the plain benchmark, since each score adds only atomic
+// increments and a bucket search. The validator is cloned so the
+// shared fixture stays uninstrumented for the other benchmarks.
+func BenchmarkScoreBatchTelemetry(b *testing.B) {
+	lab := benchFixture(b)
+	s, err := lab.Scenario("digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := s.Dataset.TestX
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			v := s.Validator.Clone()
+			v.SetTelemetry(telemetry.New())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.ScoreBatchWorkers(s.Net, xs, workers)
+			}
+		})
+	}
+}
+
 // benchEntry is one measured configuration in BENCH_pipeline.json.
 type benchEntry struct {
 	Name        string  `json:"name"`
@@ -282,6 +308,20 @@ type benchEntry struct {
 	Iterations  int     `json:"iterations"`
 	Samples     int     `json:"samples_per_op"`
 	SpeedupVsW1 float64 `json:"speedup_vs_workers1"`
+}
+
+// telemetrySummary records the observability numbers of one
+// instrumented pass over the score set, plus the measured cost of
+// leaving the registry attached to the scoring hot path.
+type telemetrySummary struct {
+	Checked          int64   `json:"checked"`
+	Flagged          int64   `json:"flagged"`
+	FlagRate         float64 `json:"flag_rate"`
+	VerdictP50Ms     float64 `json:"verdict_latency_p50_ms"`
+	VerdictP95Ms     float64 `json:"verdict_latency_p95_ms"`
+	VerdictP99Ms     float64 `json:"verdict_latency_p99_ms"`
+	ScoreOverheadPct float64 `json:"score_batch_overhead_pct"`
+	OverheadUnder5   bool    `json:"overhead_under_5pct"`
 }
 
 // TestBenchPipelineSnapshot regenerates BENCH_pipeline.json, the
@@ -350,6 +390,16 @@ func TestBenchPipelineSnapshot(t *testing.T) {
 		}
 	}
 
+	// Telemetry overhead: the same sequential ScoreBatch with a live
+	// registry attached. The instrumented validator is a clone so the
+	// plain entries above stay uninstrumented.
+	telV := s.Validator.Clone()
+	telV.SetTelemetry(telemetry.New())
+	telE := measure("ScoreBatchTelemetry", 1, len(scoreX), func() {
+		telV.ScoreBatchWorkers(s.Net, scoreX, 1)
+	})
+	overheadPct := (float64(telE.NsPerOp)/float64(scoreBaseline) - 1) * 100
+
 	fitSpeedup, scoreSpeedup := 1.0, 1.0
 	for i := range entries {
 		switch entries[i].Name {
@@ -358,12 +408,38 @@ func TestBenchPipelineSnapshot(t *testing.T) {
 			if entries[i].Workers > 1 && entries[i].SpeedupVsW1 > fitSpeedup {
 				fitSpeedup = entries[i].SpeedupVsW1
 			}
-		case "ScoreBatch":
+		case "ScoreBatch", "ScoreBatchTelemetry":
 			entries[i].SpeedupVsW1 = float64(scoreBaseline) / float64(entries[i].NsPerOp)
-			if entries[i].Workers > 1 && entries[i].SpeedupVsW1 > scoreSpeedup {
+			if entries[i].Name == "ScoreBatch" && entries[i].Workers > 1 && entries[i].SpeedupVsW1 > scoreSpeedup {
 				scoreSpeedup = entries[i].SpeedupVsW1
 			}
 		}
+	}
+
+	// One instrumented monitored pass over the score set records the
+	// operator-facing numbers (same ones dvvalidate/dvbench print with
+	// -telemetry) into the snapshot.
+	reg := telemetry.New()
+	mon, err := core.NewMonitor(s.Net, s.Validator.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetTelemetry(reg)
+	mon.CalibrateEpsilon(fitX[:200], 0.05)
+	mon.CheckBatch(scoreX)
+	snap := reg.Snapshot()
+	vl := snap.Histograms[core.MetricVerdictLatency]
+	checked := snap.Counters[core.MetricChecked]
+	flagged := snap.Counters[core.MetricFlagged]
+	telSummary := telemetrySummary{
+		Checked:          checked,
+		Flagged:          flagged,
+		FlagRate:         float64(flagged) / float64(checked),
+		VerdictP50Ms:     vl.P50 * 1e3,
+		VerdictP95Ms:     vl.P95 * 1e3,
+		VerdictP99Ms:     vl.P99 * 1e3,
+		ScoreOverheadPct: overheadPct,
+		OverheadUnder5:   overheadPct < 5,
 	}
 
 	note := "speedup_vs_workers1 compares against the sequential baseline on this machine; " +
@@ -374,16 +450,17 @@ func TestBenchPipelineSnapshot(t *testing.T) {
 			"The >=2x ScoreBatch bar applies at GOMAXPROCS >= 4 — rerun `make snapshot` on a multicore host to record it.", maxWorkers)
 	}
 	snapshot := struct {
-		Generated       string       `json:"generated"`
-		GoVersion       string       `json:"go_version"`
-		GOMAXPROCS      int          `json:"gomaxprocs"`
-		CPU             int          `json:"num_cpu"`
-		Scale           string       `json:"scale"`
-		Note            string       `json:"note"`
-		Benchmarks      []benchEntry `json:"benchmarks"`
-		FitSpeedup      float64      `json:"fit_speedup"`
-		ScoreSpeedup    float64      `json:"score_batch_speedup"`
-		SpeedupAtLeast2 bool         `json:"score_batch_speedup_at_least_2x"`
+		Generated       string           `json:"generated"`
+		GoVersion       string           `json:"go_version"`
+		GOMAXPROCS      int              `json:"gomaxprocs"`
+		CPU             int              `json:"num_cpu"`
+		Scale           string           `json:"scale"`
+		Note            string           `json:"note"`
+		Benchmarks      []benchEntry     `json:"benchmarks"`
+		FitSpeedup      float64          `json:"fit_speedup"`
+		ScoreSpeedup    float64          `json:"score_batch_speedup"`
+		SpeedupAtLeast2 bool             `json:"score_batch_speedup_at_least_2x"`
+		Telemetry       telemetrySummary `json:"telemetry"`
 	}{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
@@ -395,6 +472,7 @@ func TestBenchPipelineSnapshot(t *testing.T) {
 		FitSpeedup:      fitSpeedup,
 		ScoreSpeedup:    scoreSpeedup,
 		SpeedupAtLeast2: scoreSpeedup >= 2,
+		Telemetry:       telSummary,
 	}
 	data, err := json.MarshalIndent(snapshot, "", "  ")
 	if err != nil {
@@ -405,6 +483,9 @@ func TestBenchPipelineSnapshot(t *testing.T) {
 	}
 	t.Logf("Fit speedup %.2fx, ScoreBatch speedup %.2fx at GOMAXPROCS=%d",
 		fitSpeedup, scoreSpeedup, maxWorkers)
+	t.Logf("telemetry: %d checked, flag rate %.3f, verdict p50/p95/p99 = %.3f/%.3f/%.3f ms, score overhead %+.2f%%",
+		telSummary.Checked, telSummary.FlagRate,
+		telSummary.VerdictP50Ms, telSummary.VerdictP95Ms, telSummary.VerdictP99Ms, overheadPct)
 	if maxWorkers >= 4 && scoreSpeedup < 2 {
 		t.Errorf("ScoreBatch speedup %.2fx < 2x at GOMAXPROCS=%d", scoreSpeedup, maxWorkers)
 	}

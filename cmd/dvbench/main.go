@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"deepvalidation/internal/core"
 	"deepvalidation/internal/experiment"
+	"deepvalidation/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +43,33 @@ func run() error {
 		format   = flag.String("format", "text", "table format: text or markdown")
 		workers  = flag.Int("workers", 0, "scoring/fitting worker bound (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		telFlag  = flag.Bool("telemetry", false, "print a telemetry summary after the experiments")
+		addr     = flag.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. ":9090" or "127.0.0.1:0"; empty disables)`)
+		linger   = flag.Duration("metrics-linger", 0, "keep the metrics endpoint serving this long after the run finishes (for scrapers)")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telFlag || *addr != "" {
+		reg = telemetry.New()
+	}
+	if *addr != "" {
+		bound, stop, err := telemetry.Serve(*addr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /debug/vars, and /debug/pprof/ on http://%s\n", bound)
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", *linger)
+				time.Sleep(*linger)
+			}
+			_ = stop()
+		}()
+	}
+	if *telFlag {
+		defer func() { core.TelemetrySummary(os.Stdout, reg.Snapshot()) }()
+	}
 
 	var sc experiment.Scale
 	switch *scale {
@@ -54,6 +82,7 @@ func run() error {
 	}
 	lab := experiment.NewLab(sc, *cacheDir)
 	lab.Workers = *workers
+	lab.Telemetry = reg
 	if !*quiet {
 		lab.Log = os.Stderr
 	}
@@ -66,7 +95,7 @@ func run() error {
 	var render func(*experiment.Table)
 	switch *format {
 	case "text":
-		render = func(t *experiment.Table) { render(t) }
+		render = func(t *experiment.Table) { t.Render(os.Stdout) }
 	case "markdown":
 		render = func(t *experiment.Table) { t.RenderMarkdown(os.Stdout) }
 	default:

@@ -17,14 +17,68 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/imgtrans"
 	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/tensor"
 )
+
+// telemetryFlags is the observability flag set both subcommands share.
+type telemetryFlags struct {
+	summary *bool
+	addr    *string
+	linger  *time.Duration
+}
+
+func addTelemetryFlags(fs *flag.FlagSet) telemetryFlags {
+	return telemetryFlags{
+		summary: fs.Bool("telemetry", false, "print a telemetry summary on exit"),
+		addr:    fs.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. ":9090" or "127.0.0.1:0"; empty disables)`),
+		linger:  fs.Duration("metrics-linger", 0, "keep the metrics endpoint serving this long after the run finishes (for scrapers)"),
+	}
+}
+
+// registry returns the run's metrics registry, nil when observability
+// is fully disabled (nil adds no overhead to the hot paths).
+func (t telemetryFlags) registry() *telemetry.Registry {
+	if !*t.summary && *t.addr == "" {
+		return nil
+	}
+	return telemetry.New()
+}
+
+// serve starts the metrics endpoint when -metrics-addr is set,
+// printing the bound address (so ":0" runs are scrapable), and returns
+// a finish func that lingers and shuts down.
+func (t telemetryFlags) serve(reg *telemetry.Registry) (finish func(), err error) {
+	if *t.addr == "" {
+		return func() {}, nil
+	}
+	bound, stop, err := telemetry.Serve(*t.addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /debug/vars, and /debug/pprof/ on http://%s\n", bound)
+	return func() {
+		if *t.linger > 0 {
+			fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", *t.linger)
+			time.Sleep(*t.linger)
+		}
+		_ = stop()
+	}, nil
+}
+
+// report prints the summary table when -telemetry is set.
+func (t telemetryFlags) report(reg *telemetry.Registry) {
+	if *t.summary && reg != nil {
+		core.TelemetrySummary(os.Stdout, reg.Snapshot())
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -60,10 +114,18 @@ func runFit(args []string) error {
 		layers    = fs.String("layers", "", `layers to validate: "" for all hidden, "rear:K", or comma-separated tap indices`)
 		workers   = fs.Int("workers", 0, "fitting worker bound (0 = GOMAXPROCS, 1 = sequential; the fitted validator is identical)")
 		out       = fs.String("out", "validator.gob", "output validator path")
+		tf        = addTelemetryFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg := tf.registry()
+	finish, err := tf.serve(reg)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	defer tf.report(reg)
 
 	net, err := nn.Load(*modelPath)
 	if err != nil {
@@ -73,7 +135,7 @@ func runFit(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features, Workers: *workers}
+	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features, Workers: *workers, Telemetry: reg}
 	cfg.Layers, err = parseLayers(*layers, net)
 	if err != nil {
 		return err
@@ -108,10 +170,18 @@ func runScore(args []string) error {
 		fpr       = fs.Float64("fpr", 0.05, "false positive rate budget for ε calibration")
 		rotate    = fs.Float64("rotate", 40, "rotation angle for the demonstration corner cases")
 		workers   = fs.Int("workers", 0, "scoring worker bound (0 = GOMAXPROCS, 1 = sequential; verdicts are identical)")
+		tf        = addTelemetryFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg := tf.registry()
+	finish, err := tf.serve(reg)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	defer tf.report(reg)
 
 	net, err := nn.Load(*modelPath)
 	if err != nil {
@@ -131,6 +201,9 @@ func runScore(args []string) error {
 		return err
 	}
 	mon.SetWorkers(*workers)
+	if reg != nil {
+		mon.SetTelemetry(reg)
+	}
 	eps := mon.CalibrateEpsilon(ds.TestX, *fpr)
 	fmt.Printf("calibrated ε = %.4f at FPR ≤ %.3f on %d clean test images\n", eps, *fpr, len(ds.TestX))
 

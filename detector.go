@@ -3,10 +3,14 @@ package deepvalidation
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/opt"
+	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/tensor"
 )
 
 // Detector pairs a trained classifier with its fitted Deep Validation
@@ -16,6 +20,10 @@ type Detector struct {
 	net *nn.Network
 	val *core.Validator
 	mon *core.Monitor
+
+	telOnce sync.Once
+	telReg  *telemetry.Registry
+	invalid atomic.Pointer[telemetry.Counter]
 }
 
 // Verdict is the outcome of checking one image.
@@ -155,6 +163,27 @@ func (d *Detector) Save(modelPath, validatorPath string) error {
 	return d.val.Save(validatorPath)
 }
 
+// Telemetry returns the detector's metrics registry, enabling
+// collection on first call: verdict counters (total and per predicted
+// class), verdict and score latency histograms, per-layer and joint
+// discrepancy histograms, the ε gauge, and the invalid-input counter.
+// Until the first call the detector carries no instruments and the
+// hot paths pay only a nil check. The registry is safe to read (e.g.
+// Snapshot, WritePrometheus) while Check runs concurrently.
+func (d *Detector) Telemetry() *telemetry.Registry {
+	d.telOnce.Do(func() {
+		r := telemetry.New()
+		d.mon.SetTelemetry(r)
+		d.invalid.Store(r.Counter(core.MetricInvalidInput))
+		d.telReg = r
+	})
+	return d.telReg
+}
+
+// countInvalid records one rejected input; a no-op until Telemetry has
+// been called.
+func (d *Detector) countInvalid() { d.invalid.Load().Inc() }
+
 // Calibrate sets the detection threshold ε so that at most fpr of the
 // given clean images is flagged, and returns the chosen ε. Run it once
 // on held-out clean data before trusting Check's Valid field.
@@ -167,6 +196,7 @@ func (d *Detector) Calibrate(clean []Image, fpr float64) (float64, error) {
 	}
 	xs, err := tensorsOf(clean)
 	if err != nil {
+		d.countInvalid()
 		return 0, err
 	}
 	return d.mon.CalibrateEpsilon(xs, fpr), nil
@@ -179,13 +209,19 @@ func (d *Detector) SetEpsilon(eps float64) { d.mon.SetEpsilon(eps) }
 // Epsilon returns the current detection threshold.
 func (d *Detector) Epsilon() float64 { return d.mon.Epsilon() }
 
-// Check classifies the image and validates the prediction.
+// Check classifies the image and validates the prediction. Rejected
+// inputs (Image.Validate or geometry failures) count into the
+// telemetry registry's dv_invalid_input_total when telemetry is
+// enabled, so operators can tell malformed inputs apart from detected
+// corner cases (dv_flagged_total).
 func (d *Detector) Check(img Image) (Verdict, error) {
 	x, err := tensorOf(img)
 	if err != nil {
+		d.countInvalid()
 		return Verdict{}, err
 	}
 	if err := d.net.CheckInput(x); err != nil {
+		d.countInvalid()
 		return Verdict{}, err
 	}
 	v := d.mon.Check(x)
@@ -207,15 +243,29 @@ func (d *Detector) SetWorkers(n int) { d.mon.SetWorkers(n) }
 // Stats — are exactly those of sequential Check calls over the same
 // images; the batch just fans the scoring across the configured worker
 // pool.
+// Every invalid image in the batch is counted into
+// dv_invalid_input_total (not just the first, even though the batch
+// aborts on the first error), so the telemetry totals match what a
+// sequential Check loop would have recorded.
 func (d *Detector) CheckBatch(imgs []Image) ([]Verdict, error) {
-	xs, err := tensorsOf(imgs)
-	if err != nil {
-		return nil, err
-	}
-	for i, x := range xs {
-		if err := d.net.CheckInput(x); err != nil {
-			return nil, fmt.Errorf("image %d: %w", i, err)
+	xs := make([]*tensor.Tensor, len(imgs))
+	var firstErr error
+	for i, im := range imgs {
+		x, err := tensorOf(im)
+		if err == nil {
+			err = d.net.CheckInput(x)
 		}
+		if err != nil {
+			d.countInvalid()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("image %d: %w", i, err)
+			}
+			continue
+		}
+		xs[i] = x
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	verdicts := d.mon.CheckBatch(xs)
 	out := make([]Verdict, len(verdicts))
@@ -232,9 +282,53 @@ func (d *Detector) CheckBatch(imgs []Image) ([]Verdict, error) {
 
 // Stats reports how many inputs were checked and flagged since the
 // detector was assembled, plus the alarm rate over the most recent
-// inputs — a drift signal for fail-safe supervisors.
+// inputs — a drift signal for fail-safe supervisors. Until 50 inputs
+// have been checked, recentAlarmRate is computed over only the inputs
+// seen so far (a partially filled window) and is correspondingly
+// noisy; StatsDetail exposes the fill level to gate on.
 func (d *Detector) Stats() (checked, flagged int, recentAlarmRate float64) {
 	return d.mon.Stats()
+}
+
+// ClassStats is one predicted class's slice of the detector's lifetime
+// counts.
+type ClassStats struct {
+	// Checked counts verdicts predicted as this class; Flagged counts
+	// how many of those the detector flagged.
+	Checked, Flagged int
+}
+
+// StatsDetail is the full statistics surface of a detector.
+type StatsDetail struct {
+	// Checked and Flagged are lifetime totals.
+	Checked, Flagged int
+	// RecentAlarmRate is the flagged fraction over the RecentFill most
+	// recent verdicts; RecentWindow is the window capacity and
+	// RecentFill how many slots are populated. Before RecentWindow
+	// checks the window is partial — gate alerting on RecentFill.
+	RecentAlarmRate          float64
+	RecentWindow, RecentFill int
+	// PerClass breaks the totals down by predicted class; a single
+	// class flagging hard suggests class-specific drift.
+	PerClass []ClassStats
+}
+
+// StatsDetail reports lifetime totals, the recent-window alarm rate
+// with its fill level, and per-predicted-class breakdowns.
+func (d *Detector) StatsDetail() StatsDetail {
+	s := d.mon.StatsDetail()
+	per := make([]ClassStats, len(s.PerClass))
+	for k, c := range s.PerClass {
+		per[k] = ClassStats{Checked: c.Checked, Flagged: c.Flagged}
+	}
+	return StatsDetail{
+		Checked:         s.Checked,
+		Flagged:         s.Flagged,
+		RecentAlarmRate: s.RecentAlarmRate,
+		RecentWindow:    s.RecentWindow,
+		RecentFill:      s.RecentFill,
+		PerClass:        per,
+	}
 }
 
 // Classes returns the number of labels the detector predicts.

@@ -410,14 +410,14 @@ func TestMonitorConstructorValidation(t *testing.T) {
 	if _, err := NewMonitor(net, nil, 0); err == nil {
 		t.Error("nil validator accepted")
 	}
-	v2 := *v
+	v2 := v.Clone()
 	v2.Classes = 7
-	if _, err := NewMonitor(net, &v2, 0); err == nil {
+	if _, err := NewMonitor(net, v2, 0); err == nil {
 		t.Error("class mismatch accepted")
 	}
-	v3 := *v
+	v3 := v.Clone()
 	v3.LayerIdx = []int{99}
-	if _, err := NewMonitor(net, &v3, 0); err == nil {
+	if _, err := NewMonitor(net, v3, 0); err == nil {
 		t.Error("layer overflow accepted")
 	}
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/nn"
@@ -19,13 +21,19 @@ type Monitor struct {
 	val     *Validator
 	epsilon float64
 
-	mu      sync.Mutex
-	workers int
-	checked int
-	flagged int
-	recent  []bool // ring buffer of recent validity flags
-	next    int
-	filled  bool
+	mu           sync.Mutex
+	workers      int
+	checked      int
+	flagged      int
+	classChecked []int // indexed by predicted class
+	classFlagged []int
+	recent       []bool // ring buffer of recent validity flags
+	next         int
+	filled       bool
+
+	// tel holds the attached telemetry handles (nil when detached);
+	// read atomically so Check never takes the stats lock for it.
+	tel atomic.Pointer[monTelemetry]
 }
 
 // recentWindow sizes the sliding alarm-rate window.
@@ -42,6 +50,34 @@ type Verdict struct {
 	Valid bool
 }
 
+// ClassStats is the per-predicted-class slice of a monitor's lifetime
+// counts.
+type ClassStats struct {
+	// Checked counts verdicts whose predicted label was this class;
+	// Flagged counts how many of those exceeded ε.
+	Checked, Flagged int
+}
+
+// StatsSnapshot is the full statistics surface of a monitor.
+type StatsSnapshot struct {
+	// Checked and Flagged are lifetime totals.
+	Checked, Flagged int
+	// RecentAlarmRate is the flagged fraction over the RecentFill most
+	// recent verdicts. Before RecentWindow verdicts have been seen the
+	// window is only partially filled, so the rate is computed over
+	// RecentFill < RecentWindow samples and is correspondingly noisy —
+	// a supervisor should gate on RecentFill before alerting.
+	RecentAlarmRate float64
+	// RecentWindow is the window capacity (currently 50); RecentFill
+	// is how many of its slots hold real verdicts.
+	RecentWindow, RecentFill int
+	// PerClass breaks Checked/Flagged down by *predicted* class. The
+	// per-class flag rate PerClass[k].Flagged/PerClass[k].Checked
+	// localizes drift: a single class flagging hard usually means a
+	// class-specific environmental change rather than global drift.
+	PerClass []ClassStats
+}
+
 // NewMonitor assembles a runtime monitor with detection threshold
 // epsilon.
 func NewMonitor(net *nn.Network, val *Validator, epsilon float64) (*Monitor, error) {
@@ -56,7 +92,12 @@ func NewMonitor(net *nn.Network, val *Validator, epsilon float64) (*Monitor, err
 			return nil, fmt.Errorf("core: validator probes layer %d but network has %d hidden layers", l, net.NumLayers()-1)
 		}
 	}
-	return &Monitor{net: net, val: val, epsilon: epsilon, recent: make([]bool, recentWindow)}, nil
+	return &Monitor{
+		net: net, val: val, epsilon: epsilon,
+		recent:       make([]bool, recentWindow),
+		classChecked: make([]int, val.Classes),
+		classFlagged: make([]int, val.Classes),
+	}, nil
 }
 
 // SetWorkers bounds the worker pool CheckBatch and CalibrateEpsilon
@@ -81,9 +122,7 @@ func (m *Monitor) Workers() int {
 func (m *Monitor) CalibrateEpsilon(clean []*tensor.Tensor, fpr float64) float64 {
 	scores := JointScores(m.val.ScoreBatchWorkers(m.net, clean, m.Workers()))
 	eps := metrics.ThresholdForFPR(scores, fpr)
-	m.mu.Lock()
-	m.epsilon = eps
-	m.mu.Unlock()
+	m.SetEpsilon(eps)
 	return eps
 }
 
@@ -99,23 +138,43 @@ func (m *Monitor) SetEpsilon(eps float64) {
 	m.mu.Lock()
 	m.epsilon = eps
 	m.mu.Unlock()
+	if t := m.tel.Load(); t != nil {
+		t.epsilon.Set(eps)
+	}
 }
 
-// Check classifies x and validates the prediction.
-func (m *Monitor) Check(x *tensor.Tensor) Verdict {
-	res := m.val.Score(m.net, x)
-	m.mu.Lock()
-	valid := res.Joint < m.epsilon
+// record folds one verdict into the lifetime statistics. Callers hold
+// m.mu.
+func (m *Monitor) record(label int, valid bool) {
 	m.checked++
+	m.classChecked[label]++
 	if !valid {
 		m.flagged++
+		m.classFlagged[label]++
 	}
 	m.recent[m.next] = !valid
 	m.next = (m.next + 1) % len(m.recent)
 	if m.next == 0 {
 		m.filled = true
 	}
+}
+
+// Check classifies x and validates the prediction.
+func (m *Monitor) Check(x *tensor.Tensor) Verdict {
+	tel := m.tel.Load()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	res := m.val.Score(m.net, x)
+	m.mu.Lock()
+	valid := res.Joint < m.epsilon
+	m.record(res.Label, valid)
 	m.mu.Unlock()
+	if tel != nil {
+		tel.verdictLatency.ObserveSince(t0)
+		tel.observe(res.Label, valid)
+	}
 	return Verdict{
 		Label:       res.Label,
 		Confidence:  res.Confidence,
@@ -128,22 +187,22 @@ func (m *Monitor) Check(x *tensor.Tensor) Verdict {
 // in input order. Scoring fans across the monitor's worker pool; the
 // lifetime statistics are then updated once, in input order, so Stats
 // after CheckBatch is identical to a sequential sequence of Check
-// calls.
+// calls. With telemetry attached, each verdict observes the batch's
+// amortized per-sample latency (elapsed / batch size) into
+// MetricVerdictLatency; per-sample score latency comes from the
+// validator's own MetricScoreLatency histogram.
 func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
+	tel := m.tel.Load()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	results := m.val.ScoreBatchWorkers(m.net, xs, m.Workers())
 	out := make([]Verdict, len(results))
 	m.mu.Lock()
 	for i, res := range results {
 		valid := res.Joint < m.epsilon
-		m.checked++
-		if !valid {
-			m.flagged++
-		}
-		m.recent[m.next] = !valid
-		m.next = (m.next + 1) % len(m.recent)
-		if m.next == 0 {
-			m.filled = true
-		}
+		m.record(res.Label, valid)
 		out[i] = Verdict{
 			Label:       res.Label,
 			Confidence:  res.Confidence,
@@ -152,13 +211,31 @@ func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
 		}
 	}
 	m.mu.Unlock()
+	if tel != nil && len(out) > 0 {
+		perSample := time.Since(t0).Seconds() / float64(len(out))
+		for _, v := range out {
+			tel.verdictLatency.Observe(perSample)
+			tel.observe(v.Label, v.Valid)
+		}
+	}
 	return out
 }
 
 // Stats reports lifetime counts and the alarm rate over the most recent
 // window — the signal a fail-safe supervisor watches for sustained
-// environmental drift.
+// environmental drift. Until recentWindow (50) verdicts have been
+// seen, recentAlarmRate is computed over only the verdicts seen so far
+// (a partially filled window); see StatsDetail's RecentFill to gate on
+// warm-up. With zero checks the rate is 0.
 func (m *Monitor) Stats() (checked, flagged int, recentAlarmRate float64) {
+	s := m.StatsDetail()
+	return s.Checked, s.Flagged, s.RecentAlarmRate
+}
+
+// StatsDetail reports the full statistics surface: lifetime totals,
+// the recent-window alarm rate with its fill level, and per-class
+// checked/flagged breakdowns.
+func (m *Monitor) StatsDetail() StatsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := m.next
@@ -175,5 +252,16 @@ func (m *Monitor) Stats() (checked, flagged int, recentAlarmRate float64) {
 	if n > 0 {
 		rate = float64(alarms) / float64(n)
 	}
-	return m.checked, m.flagged, rate
+	per := make([]ClassStats, len(m.classChecked))
+	for k := range per {
+		per[k] = ClassStats{Checked: m.classChecked[k], Flagged: m.classFlagged[k]}
+	}
+	return StatsSnapshot{
+		Checked:         m.checked,
+		Flagged:         m.flagged,
+		RecentAlarmRate: rate,
+		RecentWindow:    len(m.recent),
+		RecentFill:      n,
+		PerClass:        per,
+	}
 }

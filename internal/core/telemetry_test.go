@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"deepvalidation/internal/telemetry"
+)
+
+func TestScoreTelemetry(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	reg := telemetry.New()
+	v.SetTelemetry(reg)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		v.Score(net, xs[i])
+	}
+	s := reg.Snapshot()
+	lat := s.Histograms[MetricScoreLatency]
+	if lat.Count != n {
+		t.Errorf("score latency count = %d, want %d", lat.Count, n)
+	}
+	if lat.P50 <= 0 || lat.P99 < lat.P50 {
+		t.Errorf("latency quantiles implausible: p50=%v p99=%v", lat.P50, lat.P99)
+	}
+	if s.Histograms[MetricJointDiscrepancy].Count != n {
+		t.Errorf("joint discrepancy count = %d, want %d", s.Histograms[MetricJointDiscrepancy].Count, n)
+	}
+	for _, l := range v.LayerIdx {
+		name := telemetry.Label(MetricLayerDiscrepancy, "layer", strconv.Itoa(l))
+		if got := s.Histograms[name].Count; got != n {
+			t.Errorf("layer %d discrepancy count = %d, want %d", l, got, n)
+		}
+	}
+
+	// Detach: no further observations.
+	v.SetTelemetry(nil)
+	v.Score(net, xs[0])
+	if got := reg.Snapshot().Histograms[MetricScoreLatency].Count; got != n {
+		t.Errorf("detached Score still observed: count = %d, want %d", got, n)
+	}
+}
+
+func TestScoreBatchTelemetryUnderWorkers(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	reg := telemetry.New()
+	v.SetTelemetry(reg)
+	v.ScoreBatchWorkers(net, xs[:40], 4)
+	if got := reg.Snapshot().Histograms[MetricScoreLatency].Count; got != 40 {
+		t.Errorf("parallel batch observed %d scores, want 40", got)
+	}
+}
+
+func TestFitTelemetryStages(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	reg := telemetry.New()
+	v, err := Fit(net, xs, ys, Config{Nu: 0.1, MaxPerClass: 60, MaxFeatures: 64, Workers: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Histograms[MetricFitTotal].Count; got != 1 {
+		t.Errorf("fit total spans = %d, want 1", got)
+	}
+	if got := s.Histograms[MetricFitCollect].Count; got != 1 {
+		t.Errorf("collect spans = %d, want 1", got)
+	}
+	if got := s.Histograms[MetricFitForward].Count; got != int64(len(xs)) {
+		t.Errorf("forward observations = %d, want %d (one per sample)", got, len(xs))
+	}
+	wantFits := int64(len(v.LayerIdx) * v.Classes)
+	if got := s.Histograms[MetricFitSVM].Count; got != wantFits {
+		t.Errorf("svm fit observations = %d, want %d", got, wantFits)
+	}
+	if got := s.Counters[MetricFitSamples]; got != int64(len(xs)) {
+		t.Errorf("fit samples counter = %d, want %d", got, len(xs))
+	}
+	kept := s.Counters[MetricFitKept]
+	if kept <= 0 || kept > int64(len(xs)) {
+		t.Errorf("fit kept counter = %d, want in (0, %d]", kept, len(xs))
+	}
+	// Reduce observations: one per kept (correctly classified) sample.
+	if got := s.Histograms[MetricFitReduce].Count; got != kept {
+		t.Errorf("reduce observations = %d, want %d (one per kept sample)", got, kept)
+	}
+}
+
+func TestMonitorTelemetry(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	m, err := NewMonitor(net, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	m.SetTelemetry(reg)
+
+	rng := rand.New(rand.NewSource(71))
+	cleanX, _ := toyProblem(rng, 30)
+	eps := m.CalibrateEpsilon(cleanX, 0.1)
+	if got := reg.Snapshot().Gauges[MetricEpsilon]; got != eps {
+		t.Errorf("epsilon gauge = %v, want %v", got, eps)
+	}
+
+	for _, x := range cleanX[:10] {
+		m.Check(x)
+	}
+	m.CheckBatch(cleanX[10:])
+
+	s := reg.Snapshot()
+	if got := s.Counters[MetricChecked]; got != int64(len(cleanX)) {
+		t.Errorf("checked counter = %d, want %d", got, len(cleanX))
+	}
+	checked, flagged, _ := m.Stats()
+	if int64(checked) != s.Counters[MetricChecked] || int64(flagged) != s.Counters[MetricFlagged] {
+		t.Errorf("telemetry (%d, %d) disagrees with Stats (%d, %d)",
+			s.Counters[MetricChecked], s.Counters[MetricFlagged], checked, flagged)
+	}
+	// Per-class counters partition the totals.
+	var classSum int64
+	for k := 0; k < v.Classes; k++ {
+		classSum += s.Counters[telemetry.Label(MetricClassChecked, "class", strconv.Itoa(k))]
+	}
+	if classSum != s.Counters[MetricChecked] {
+		t.Errorf("per-class checked sums to %d, want %d", classSum, s.Counters[MetricChecked])
+	}
+	// Verdict latency: one observation per verdict, including the
+	// amortized batch observations.
+	if got := s.Histograms[MetricVerdictLatency].Count; got != int64(len(cleanX)) {
+		t.Errorf("verdict latency count = %d, want %d", got, len(cleanX))
+	}
+	// Monitor wiring also instruments the validator's score path.
+	if got := s.Histograms[MetricScoreLatency].Count; got < int64(len(cleanX)) {
+		t.Errorf("score latency count = %d, want ≥ %d", got, len(cleanX))
+	}
+
+	// SetEpsilon keeps the gauge current.
+	m.SetEpsilon(1.5)
+	if got := reg.Snapshot().Gauges[MetricEpsilon]; got != 1.5 {
+		t.Errorf("epsilon gauge after SetEpsilon = %v, want 1.5", got)
+	}
+}
+
+// TestMonitorStatsPartialWindow pins the documented semantics of
+// recentAlarmRate before the 50-verdict window fills: the rate is
+// computed over only the verdicts seen so far.
+func TestMonitorStatsPartialWindow(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	m, err := NewMonitor(net, v, -1e9) // ε below every score: flag everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.StatsDetail()
+	if d.RecentWindow != 50 || d.RecentFill != 0 || d.RecentAlarmRate != 0 {
+		t.Fatalf("fresh monitor detail = %+v", d)
+	}
+
+	const n = 7 // well below the 50-slot window
+	for i := 0; i < n; i++ {
+		m.Check(xs[i])
+	}
+	d = m.StatsDetail()
+	if d.RecentFill != n {
+		t.Errorf("recent fill = %d, want %d", d.RecentFill, n)
+	}
+	if d.RecentAlarmRate != 1 {
+		t.Errorf("partial-window alarm rate = %v, want 1 (every check flagged, rate over %d not %d)",
+			d.RecentAlarmRate, n, d.RecentWindow)
+	}
+	if _, _, rate := m.Stats(); rate != 1 {
+		t.Errorf("Stats alarm rate = %v, want 1 over the partial window", rate)
+	}
+
+	// Accept everything from here on: the window mixes 7 alarms with
+	// accepts, still partially filled.
+	m.SetEpsilon(1e9)
+	for i := 0; i < n; i++ {
+		m.Check(xs[n+i])
+	}
+	d = m.StatsDetail()
+	if d.RecentFill != 2*n {
+		t.Errorf("recent fill = %d, want %d", d.RecentFill, 2*n)
+	}
+	if d.RecentAlarmRate != 0.5 {
+		t.Errorf("mixed partial-window rate = %v, want 0.5", d.RecentAlarmRate)
+	}
+}
+
+func TestMonitorStatsDetailPerClass(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	m, err := NewMonitor(net, v, -1e9) // flag everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	m.CheckBatch(xs[:n])
+	d := m.StatsDetail()
+	if len(d.PerClass) != v.Classes {
+		t.Fatalf("per-class entries = %d, want %d", len(d.PerClass), v.Classes)
+	}
+	sumChecked, sumFlagged := 0, 0
+	for _, c := range d.PerClass {
+		sumChecked += c.Checked
+		sumFlagged += c.Flagged
+	}
+	if sumChecked != d.Checked || sumFlagged != d.Flagged {
+		t.Errorf("per-class sums (%d, %d) != totals (%d, %d)", sumChecked, sumFlagged, d.Checked, d.Flagged)
+	}
+	if d.Checked != n || d.Flagged != n {
+		t.Errorf("totals = (%d, %d), want (%d, %d) with ε = -1e9", d.Checked, d.Flagged, n, n)
+	}
+	// The toy model is near-perfect, so every class must have seen
+	// predictions — the breakdown is genuinely per-class, not lumped.
+	for k, c := range d.PerClass {
+		if c.Checked == 0 {
+			t.Errorf("class %d saw no predictions; labels %v", k, ys[:5])
+		}
+	}
+	// Window saturated past 50: fill caps at the window size.
+	if d.RecentFill != d.RecentWindow {
+		t.Errorf("fill = %d, want %d after %d checks", d.RecentFill, d.RecentWindow, n)
+	}
+}
+
+// TestValidatorCloneDetachesTelemetry pins Clone's contract: shared
+// fitted components, independent telemetry.
+func TestValidatorCloneDetachesTelemetry(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	reg := telemetry.New()
+	v.SetTelemetry(reg)
+	c := v.Clone()
+	c.Score(net, xs[0])
+	if got := reg.Snapshot().Histograms[MetricScoreLatency].Count; got != 0 {
+		t.Errorf("clone leaked %d observations into the parent registry", got)
+	}
+	if len(c.SVMs) != len(v.SVMs) || c.Classes != v.Classes {
+		t.Error("clone lost fitted components")
+	}
+}
+
+// TestGobRoundTripDropsTelemetry proves the unexported telemetry slot
+// survives (as detached) a save/load cycle.
+func TestGobRoundTripDropsTelemetry(t *testing.T) {
+	net, xs, ys := trainedToyModel(t)
+	v := fitToyValidator(t, net, xs, ys)
+	v.SetTelemetry(telemetry.New())
+	path := filepath.Join(t.TempDir(), "val.gob")
+	if err := v.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadValidator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	loaded.SetTelemetry(reg)
+	loaded.Score(net, xs[0])
+	if got := reg.Snapshot().Histograms[MetricScoreLatency].Count; got != 1 {
+		t.Errorf("reloaded validator observed %d scores, want 1", got)
+	}
+	_ = ys
+}

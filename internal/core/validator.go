@@ -17,10 +17,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/svm"
 	"deepvalidation/internal/tensor"
+	"deepvalidation/internal/telemetry"
 )
 
 // Config controls validator fitting.
@@ -40,6 +42,10 @@ type Config struct {
 	Layers []int
 	// Workers bounds the concurrent SVM fits (default GOMAXPROCS).
 	Workers int
+	// Telemetry, when non-nil, receives per-stage fit timings (tap
+	// collection, per-sample forward/reduce, per-(layer, class) SVM
+	// fits) and sample counters. Nil adds no overhead.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -79,6 +85,10 @@ type Validator struct {
 	// when FitNormalization has run; see NormalizedJoint.
 	NormMean []float64
 	NormStd  []float64
+
+	// tel holds the attached telemetry handles (nil when detached).
+	// Unexported, so gob round-trips skip it; re-attach after Load.
+	tel atomic.Pointer[valTelemetry]
 }
 
 // Result is the outcome of scoring one sample (Algorithm 2).
@@ -141,6 +151,20 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Resolve fit-stage instruments once; every handle is nil (and
+	// every observation a no-op) when cfg.Telemetry is nil.
+	reg := cfg.Telemetry
+	var (
+		fitTotal   = reg.Histogram(MetricFitTotal, telemetry.DefLatencyBuckets)
+		fitCollect = reg.Histogram(MetricFitCollect, telemetry.DefLatencyBuckets)
+		fitForward = reg.Histogram(MetricFitForward, telemetry.DefLatencyBuckets)
+		fitReduce  = reg.Histogram(MetricFitReduce, telemetry.DefLatencyBuckets)
+		fitSVMAll  = reg.Histogram(MetricFitSVMStage, telemetry.DefLatencyBuckets)
+		fitSVMOne  = reg.Histogram(MetricFitSVM, telemetry.DefLatencyBuckets)
+	)
+	totalSpan := telemetry.StartSpan(fitTotal)
+	reg.Counter(MetricFitSamples).Add(int64(len(trainX)))
+
 	// Algorithm 1 line 2: keep only correctly classified images, and
 	// collect their reduced hidden representations in one tapped pass.
 	// The reducers depend only on tap shapes, so they are sized up front
@@ -155,18 +179,34 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 
 	// collected[idx] is nil for misclassified samples, else the per-layer
 	// reduced features of trainX[idx].
+	collectSpan := telemetry.StartSpan(fitCollect)
+	instrumented := reg != nil
 	collected := make([][][]float64, len(trainX))
 	forEachIndex(len(trainX), workers, func(idx int) {
+		var t0 time.Time
+		if instrumented {
+			t0 = time.Now()
+		}
 		probs, taps := net.ForwardTapped(trainX[idx])
+		if instrumented {
+			fitForward.ObserveSince(t0)
+		}
 		if probs.ArgMax() != trainY[idx] {
 			return
+		}
+		if instrumented {
+			t0 = time.Now()
 		}
 		fs := make([][]float64, len(layers))
 		for p, l := range layers {
 			fs[p] = reducers[p].Reduce(taps[l])
 		}
+		if instrumented {
+			fitReduce.ObserveSince(t0)
+		}
 		collected[idx] = fs
 	})
+	collectSpan.End()
 
 	feats := make([][][]float64, len(layers)) // [layerPos][kept sample] -> features
 	keptLabels := make([]int, 0, len(trainX))
@@ -182,6 +222,7 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 	if len(keptLabels) == 0 {
 		return nil, fmt.Errorf("core: model misclassifies every training sample; nothing to fit")
 	}
+	reg.Counter(MetricFitKept).Add(int64(len(keptLabels)))
 
 	// Group sample indices by class and subsample deterministically.
 	byClass := make([][]int, net.Classes)
@@ -219,12 +260,14 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 	type job struct{ p, k int }
 	jobs := make(chan job)
 	errs := make([]error, len(layers)*net.Classes)
+	svmSpan := telemetry.StartSpan(fitSVMAll)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				oneSpan := telemetry.StartSpan(fitSVMOne)
 				data := make([][]float64, 0, len(byClass[j.k]))
 				for _, i := range byClass[j.k] {
 					data = append(data, feats[j.p][i])
@@ -234,6 +277,7 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 					Kernel: svm.KernelRBF,
 					Gamma:  gammas[j.p],
 				})
+				oneSpan.End()
 				if err != nil {
 					errs[j.p*net.Classes+j.k] = fmt.Errorf("core: SVM(layer %d, class %d): %w", v.LayerIdx[j.p], j.k, err)
 					continue
@@ -249,11 +293,13 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 	}
 	close(jobs)
 	wg.Wait()
+	svmSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	totalSpan.End()
 	return v, nil
 }
 
@@ -300,9 +346,35 @@ func pooledScaleGamma(rows [][]float64) float64 {
 	return 1 / (float64(len(rows[0])) * variance)
 }
 
+// Clone returns a shallow copy sharing the fitted components (SVMs,
+// reducers, slices) but carrying no telemetry attachment — the idiom
+// for tweaking a validator (normalization, layer subsets) without
+// mutating the original. The Validator struct itself must not be
+// copied by assignment; it embeds an atomic telemetry slot.
+func (v *Validator) Clone() *Validator {
+	return &Validator{
+		ModelName: v.ModelName,
+		Classes:   v.Classes,
+		LayerIdx:  v.LayerIdx,
+		Reducers:  v.Reducers,
+		SVMs:      v.SVMs,
+		Nu:        v.Nu,
+		NormMean:  v.NormMean,
+		NormStd:   v.NormStd,
+	}
+}
+
 // Score runs Algorithm 2 on one sample: a single tapped forward pass,
 // then per-layer discrepancies against the SVMs of the predicted class.
+// With telemetry attached (SetTelemetry), each call also observes its
+// latency and its per-layer and joint discrepancies; detached, the
+// only cost is one atomic pointer load.
 func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
+	tel := v.tel.Load()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	probs, taps := net.ForwardTapped(x)
 	label := probs.ArgMax()
 	res := Result{
@@ -314,6 +386,13 @@ func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
 		d := -v.SVMs[p][label].Decision(v.Reducers[p].Reduce(taps[l]))
 		res.Layer[p] = d
 		res.Joint += d
+	}
+	if tel != nil {
+		tel.scoreLatency.ObserveSince(t0)
+		tel.joint.Observe(res.Joint)
+		for p, d := range res.Layer {
+			tel.layers[p].Observe(d)
+		}
 	}
 	return res
 }

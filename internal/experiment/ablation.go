@@ -203,7 +203,7 @@ func (l *Lab) AblationNormalizedJoint(name string) (*Table, error) {
 	if half < 2 {
 		return nil, fmt.Errorf("experiment: clean set too small for normalization ablation")
 	}
-	val := *s.Validator // shallow copy so the scenario stays pristine
+	val := s.Validator.Clone() // shallow copy so the scenario stays pristine
 	if err := val.FitNormalization(s.Net, c.CleanX[:half]); err != nil {
 		return nil, err
 	}

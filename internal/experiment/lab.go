@@ -22,6 +22,7 @@ import (
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/opt"
+	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/tensor"
 )
 
@@ -103,6 +104,12 @@ type Lab struct {
 	// setting, so it is deliberately excluded from the artifact cache
 	// fingerprint.
 	Workers int
+	// Telemetry, when non-nil, instruments every scenario validator
+	// the lab builds or loads (score latency, per-layer discrepancy
+	// histograms) and the fitting stages. Like Workers it never
+	// affects results, so it too is excluded from the cache
+	// fingerprint.
+	Telemetry *telemetry.Registry
 
 	scenarios map[string]*Scenario
 	corpora   map[string]*Corpus
@@ -156,6 +163,9 @@ func (l *Lab) Scenario(name string) (*Scenario, error) {
 			if val, err := core.LoadValidator(l.cachePath("validator", name)); err == nil {
 				s.Net = net
 				s.Validator = val
+				if l.Telemetry != nil {
+					val.SetTelemetry(l.Telemetry)
+				}
 				s.TestAcc, s.TestConf = net.Accuracy(ds.TestX, ds.TestY)
 				l.logf("[%s] loaded cached model (test acc %.4f)", name, s.TestAcc)
 				l.scenarios[name] = s
@@ -239,6 +249,7 @@ func (l *Lab) build(s *Scenario) error {
 		MaxPerClass: sc.SVMPerClass,
 		MaxFeatures: sc.SVMFeatures,
 		Workers:     l.Workers,
+		Telemetry:   l.Telemetry,
 	}
 	if s.Name == "objects" {
 		vcfg.Layers = core.RearLayers(net, 6)
@@ -247,6 +258,9 @@ func (l *Lab) build(s *Scenario) error {
 	val, err := core.Fit(net, s.Dataset.TrainX, s.Dataset.TrainY, vcfg)
 	if err != nil {
 		return err
+	}
+	if l.Telemetry != nil {
+		val.SetTelemetry(l.Telemetry)
 	}
 	s.Validator = val
 	return nil

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler returns an http.Handler that serves the registry in the
+// Prometheus text exposition format. With ?format=json it serves the
+// JSON snapshot instead.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// expvarSlots holds one swappable registry pointer per published
+// expvar name: expvar.Publish panics on duplicate names, so each name
+// is published exactly once with a func that reads the slot, and
+// re-publishing just swaps the slot (latest registry wins).
+var expvarSlots sync.Map // name -> *atomic.Pointer[Registry]
+
+// PublishExpvar exposes the registry's JSON snapshot as an expvar
+// variable, so /debug/vars carries the same numbers as /metrics.
+// Safe to call repeatedly; the most recently published registry for a
+// name is the one served.
+func PublishExpvar(name string, r *Registry) {
+	slot, loaded := expvarSlots.LoadOrStore(name, &atomic.Pointer[Registry]{})
+	p := slot.(*atomic.Pointer[Registry])
+	p.Store(r)
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any { return p.Load().Snapshot() }))
+	}
+}
+
+// NewServeMux builds the observability mux: /metrics (Prometheus
+// text, JSON with ?format=json), /debug/vars (expvar, including the
+// registry snapshot published under "deepvalidation"), and the
+// net/http/pprof profiling suite under /debug/pprof/.
+func NewServeMux(r *Registry) *http.ServeMux {
+	PublishExpvar("deepvalidation", r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns the bound address plus a shutdown
+// function. Serving runs on a background goroutine; the caller owns
+// the shutdown.
+func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewServeMux(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative
+// count of observations ≤ UpperBound (Prometheus "le" semantics).
+// The final bucket has UpperBound +Inf.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the +Inf bucket
+// survives JSON (which has no infinity literal); "le" uses the same
+// formatting as the Prometheus text output.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = formatFloat(b.UpperBound)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON reverses MarshalJSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	v, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad bucket bound %q: %w", raw.LE, err)
+	}
+	b.UpperBound = v
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+	// P50/P95/P99 are interpolated quantile estimates, NaN-free: 0
+	// when the histogram is empty (JSON cannot carry NaN).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry:
+// each instrument is read atomically, though the set is not read under
+// one global lock (counters advance during a scrape; that is normal
+// Prometheus behavior).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out.Buckets[i] = BucketCount{UpperBound: ub, Count: cum}
+	}
+	q := func(p float64) float64 {
+		v := h.Quantile(p)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	out.P50, out.P95, out.P99 = q(0.50), q(0.95), q(0.99)
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered by
+// metric name so the output is golden-testable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Each series renders as one block of lines (a counter or gauge is
+	// a single line; a histogram is its buckets in ascending le order
+	// followed by _sum and _count). Series are grouped into families by
+	// base name, families and series sort lexically, and bucket order
+	// within a series is preserved — Prometheus requires ascending le.
+	type series struct {
+		name  string
+		lines []string
+	}
+	type family struct {
+		kind   string // counter, gauge, histogram
+		series []series
+	}
+	families := map[string]*family{}
+	add := func(base, kind, seriesName string, lines []string) {
+		f, ok := families[base]
+		if !ok {
+			f = &family{kind: kind}
+			families[base] = f
+		}
+		f.series = append(f.series, series{name: seriesName, lines: lines})
+	}
+
+	for name, v := range s.Counters {
+		base, labels := splitName(name)
+		add(base, "counter", name, []string{base + renderLabels(labels) + " " + strconv.FormatInt(v, 10)})
+	}
+	for name, v := range s.Gauges {
+		base, labels := splitName(name)
+		add(base, "gauge", name, []string{base + renderLabels(labels) + " " + formatFloat(v)})
+	}
+	for name, h := range s.Histograms {
+		base, labels := splitName(name)
+		lines := make([]string, 0, len(h.Buckets)+2)
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatFloat(b.UpperBound)
+			}
+			withLE := append(append([]string(nil), labels...), `le="`+le+`"`)
+			lines = append(lines, fmt.Sprintf("%s_bucket%s %d", base, renderLabels(withLE), b.Count))
+		}
+		lines = append(lines, base+"_sum"+renderLabels(labels)+" "+formatFloat(h.Sum))
+		lines = append(lines, fmt.Sprintf("%s_count%s %d", base, renderLabels(labels), h.Count))
+		add(base, "histogram", name, lines)
+	}
+
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		f := families[b]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", b, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			for _, line := range sr.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current state; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// splitName separates `base{k="v",...}` into the base name and its
+// label pairs; a plain name has no labels.
+func splitName(name string) (base string, labels []string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:open]
+	inner := name[open+1 : len(name)-1]
+	if inner == "" {
+		return base, nil
+	}
+	// Labels were built by Label(), so commas inside quoted values are
+	// the only hazard; split on commas that precede a key= run.
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(inner); i++ {
+		c := inner[i]
+		switch {
+		case c == '"' && (i == 0 || inner[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			labels = append(labels, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		labels = append(labels, cur.String())
+	}
+	return base, labels
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

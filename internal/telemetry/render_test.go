@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte-for-byte:
+// family ordering, TYPE lines, label merging, ascending le order, and
+// float formatting are all operator-facing surface.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("dv_checked_total").Add(7)
+	r.Counter(Label("dv_class_checked_total", "class", "0")).Add(4)
+	r.Counter(Label("dv_class_checked_total", "class", "1")).Add(3)
+	r.Gauge("dv_epsilon").Set(0.25)
+	h := r.Histogram(Label("dv_layer_discrepancy", "layer", "2"), []float64{-1, 0, 1})
+	h.Observe(-2) // le=-1
+	h.Observe(0.5)
+	h.Observe(0.5) // le=1 ×2
+	h.Observe(9)   // +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE dv_checked_total counter
+dv_checked_total 7
+# TYPE dv_class_checked_total counter
+dv_class_checked_total{class="0"} 4
+dv_class_checked_total{class="1"} 3
+# TYPE dv_epsilon gauge
+dv_epsilon 0.25
+# TYPE dv_layer_discrepancy histogram
+dv_layer_discrepancy_bucket{layer="2",le="-1"} 1
+dv_layer_discrepancy_bucket{layer="2",le="0"} 1
+dv_layer_discrepancy_bucket{layer="2",le="1"} 3
+dv_layer_discrepancy_bucket{layer="2",le="+Inf"} 4
+dv_layer_discrepancy_sum{layer="2"} 8
+dv_layer_discrepancy_count{layer="2"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	s := r.Snapshot()
+	hs, ok := s.Histograms["lat_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 100 {
+		t.Errorf("count = %d", hs.Count)
+	}
+	// All observations in (1,2]: every quantile interpolates inside it.
+	for _, q := range []float64{hs.P50, hs.P95, hs.P99} {
+		if q <= 1 || q > 2 {
+			t.Errorf("quantile %v outside (1,2]", q)
+		}
+	}
+	// Empty histograms snapshot quantiles as 0, not NaN (JSON-safe).
+	r.Histogram("empty_seconds", []float64{1})
+	if hs := r.Snapshot().Histograms["empty_seconds"]; hs.P50 != 0 || hs.P99 != 0 {
+		t.Errorf("empty histogram quantiles = %v/%v, want 0/0", hs.P50, hs.P99)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	base, labels := splitName(`dv_x{a="1",b="2,3"}`)
+	if base != "dv_x" || len(labels) != 2 || labels[0] != `a="1"` || labels[1] != `b="2,3"` {
+		t.Errorf("splitName = %q %v", base, labels)
+	}
+	base, labels = splitName("plain_total")
+	if base != "plain_total" || labels != nil {
+		t.Errorf("splitName plain = %q %v", base, labels)
+	}
+}

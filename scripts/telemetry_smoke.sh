@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — end-to-end check of the observability surface.
+#
+# Trains a tiny model, fits a validator, then runs a scoring pass with
+# the metrics endpoint bound to an ephemeral port and scrapes it:
+# /metrics must serve populated dv_* series in the Prometheus text
+# format, /metrics?format=json must parse, and /debug/vars must carry
+# the expvar bridge. Used by `make smoke` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d /tmp/dv-smoke-XXXXXX)
+trap 'rm -rf "$workdir"; [ -n "${score_pid:-}" ] && kill "$score_pid" 2>/dev/null || true' EXIT
+
+echo "== building CLIs"
+go build -o "$workdir/dvtrain" ./cmd/dvtrain
+go build -o "$workdir/dvvalidate" ./cmd/dvvalidate
+
+echo "== training a tiny model"
+"$workdir/dvtrain" -dataset digits -train 400 -test 100 -epochs 6 \
+    -width 4 -fc 16 -out "$workdir/model.gob" -quiet
+
+echo "== fitting the validator (with -telemetry summary)"
+"$workdir/dvvalidate" fit -model "$workdir/model.gob" -dataset digits \
+    -train 400 -test 100 -max-per-class 40 -max-features 64 \
+    -out "$workdir/validator.gob" -telemetry
+
+echo "== scoring with the metrics endpoint on an ephemeral port"
+stderr_log="$workdir/score.stderr"
+"$workdir/dvvalidate" score -model "$workdir/model.gob" \
+    -validator "$workdir/validator.gob" -dataset digits \
+    -train 400 -test 100 -telemetry \
+    -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+    2>"$stderr_log" &
+score_pid=$!
+
+# The CLI prints the bound address before it starts working; poll for it.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^metrics: serving .* on http://||p' "$stderr_log" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$score_pid" 2>/dev/null || { cat "$stderr_log"; echo "score exited before serving metrics"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$stderr_log"; echo "never saw the metrics address"; exit 1; }
+echo "   endpoint: http://$addr"
+
+# Let the scoring pass populate the histograms, then scrape while the
+# endpoint lingers.
+wait_for_metric() {
+    local body
+    for _ in $(seq 1 200); do
+        body=$(curl -sf "http://$addr/metrics" || true)
+        if echo "$body" | grep -q "$1"; then return 0; fi
+        sleep 0.1
+    done
+    echo "metric $1 never appeared:"
+    curl -sf "http://$addr/metrics" || true
+    return 1
+}
+
+echo "== scraping /metrics (Prometheus text)"
+wait_for_metric '^dv_checked_total [1-9]'
+metrics=$(curl -sf "http://$addr/metrics")
+for want in \
+    '# TYPE dv_checked_total counter' \
+    '# TYPE dv_verdict_latency_seconds histogram' \
+    'dv_verdict_latency_seconds_bucket' \
+    'dv_layer_discrepancy_bucket' \
+    'dv_epsilon'; do
+    echo "$metrics" | grep -q "$want" || { echo "missing: $want"; echo "$metrics"; exit 1; }
+done
+
+echo "== scraping /metrics?format=json"
+# Capture bodies before grepping: with pipefail, `curl | grep -q` dies
+# of curl's SIGPIPE when grep exits on an early match.
+json=$(curl -sf "http://$addr/metrics?format=json")
+echo "$json" | grep -q '"dv_checked_total"' \
+    || { echo "JSON snapshot lacks dv_checked_total"; exit 1; }
+
+echo "== scraping /debug/vars (expvar bridge)"
+vars=$(curl -sf "http://$addr/debug/vars")
+echo "$vars" | grep -q '"deepvalidation"' || { echo "expvar bridge missing"; exit 1; }
+echo "$vars" | grep -q '"memstats"' || { echo "stock expvars missing"; exit 1; }
+
+echo "== scraping /debug/pprof/"
+pprof=$(curl -sf "http://$addr/debug/pprof/")
+echo "$pprof" | grep -q goroutine \
+    || { echo "pprof index not serving"; exit 1; }
+
+kill "$score_pid" 2>/dev/null || true
+wait "$score_pid" 2>/dev/null || true
+score_pid=""
+echo "telemetry smoke: OK"
