@@ -13,16 +13,17 @@ vet:
 
 # race exercises the concurrency-bearing packages — the parallel Fit
 # collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, the
-# telemetry registry they all observe into, and the experiment harness
-# that drives them — under the race detector.
+# telemetry registry they all observe into, the serving micro-batcher,
+# and the experiment harness that drives them — under the race detector.
 race:
-	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry .
+	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve .
 
-# smoke runs the end-to-end observability check: train a tiny model,
-# score with the metrics endpoint bound to an ephemeral port, and
-# scrape /metrics, /debug/vars, and /debug/pprof/.
+# smoke runs the end-to-end checks against real processes: the
+# observability pass (train, score, scrape /metrics) and the serving
+# pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain).
 smoke:
 	./scripts/telemetry_smoke.sh
+	./scripts/serve_smoke.sh
 
 # check is the CI gate: full build + tests, vet, the race pass, and the
 # telemetry smoke run.
@@ -33,8 +34,11 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz FuzzImageValidate -fuzztime 30s -run '^$$' .
+	$(GO) test -fuzz FuzzCheckRequest -fuzztime 30s -run '^$$' ./internal/serve
 
 # snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
-# for the parallel scoring & fitting pipeline.
+# for the parallel scoring & fitting pipeline plus the serving
+# micro-batcher (the serve pass merges into the file, so order matters).
 snapshot:
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchPipelineSnapshot -count=1 -v .
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchServeSnapshot -count=1 -v ./internal/serve

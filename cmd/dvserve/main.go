@@ -1,0 +1,153 @@
+// Command dvserve serves a saved model+validator pair as an online
+// inference-validation endpoint — the paper's fail-safe deployment
+// mode as an HTTP service:
+//
+//	dvserve -model digits.model -validator digits.validator -eps 1.2 -addr :8080
+//
+// Requests to POST /v1/check (one image) and POST /v1/batch (many) are
+// micro-batched: collected up to -max-batch or for -batch-window,
+// whichever fires first, and scored through Detector.CheckBatch on a
+// bounded worker pool, so throughput rides the parallel scoring
+// pipeline while verdicts stay bit-identical to sequential checks.
+// A bounded admission queue sheds overload with 429 + Retry-After,
+// request bodies are size-capped, and every request carries a
+// deadline.
+//
+// Operations: SIGTERM/SIGINT drain gracefully (stop admission, flush
+// in-flight batches, exit); SIGHUP or POST /v1/reload hot-swap a
+// re-fitted model+validator pair from the same paths with zero
+// downtime, carrying the live ε across; -metrics-addr serves the
+// shared telemetry registry (/metrics, /debug/vars, /debug/pprof/).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepvalidation"
+	"deepvalidation/internal/serve"
+	"deepvalidation/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath   = flag.String("model", "model.gob", "trained model path")
+		valPath     = flag.String("validator", "validator.gob", "fitted validator path")
+		eps         = flag.Float64("eps", 0, "detection threshold ε (see dvvalidate score); carried across reloads")
+		addr        = flag.String("addr", ":8080", `serving address (e.g. ":8080" or "127.0.0.1:0")`)
+		metricsAddr = flag.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)`)
+		maxBatch    = flag.Int("max-batch", 32, "micro-batch size cap")
+		window      = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (0 disables waiting)")
+		queueDepth  = flag.Int("queue-depth", 256, "admission queue bound; beyond it requests shed with 429")
+		dispatchers = flag.Int("dispatch-workers", 2, "concurrent micro-batch dispatches")
+		workers     = flag.Int("workers", 0, "detector CheckBatch worker bound (0 = GOMAXPROCS, 1 = sequential)")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body byte cap (413 beyond)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (504 beyond)")
+		drainT      = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight requests")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	)
+	flag.Parse()
+
+	load := func() (*deepvalidation.Detector, error) {
+		det, err := deepvalidation.Load(*modelPath, *valPath)
+		if err != nil {
+			return nil, err
+		}
+		det.SetWorkers(*workers)
+		return det, nil
+	}
+	det, err := load()
+	if err != nil {
+		return err
+	}
+	det.SetEpsilon(*eps)
+	handle := deepvalidation.NewHandle(det)
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New()
+	}
+	batchWindow := *window
+	if batchWindow <= 0 {
+		batchWindow = -1 // 0 on the flag means "no waiting", not "default"
+	}
+	srv, err := serve.New(handle, serve.Config{
+		MaxBatch:       *maxBatch,
+		BatchWindow:    batchWindow,
+		QueueDepth:     *queueDepth,
+		Workers:        *dispatchers,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		Loader:         load,
+		Registry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stopMetrics() }()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /debug/vars, and /debug/pprof/ on http://%s\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dvserve: ready (eps %.4f, max-batch %d, batch-window %v, queue-depth %d, dispatch-workers %d)\n",
+		det.Epsilon(), *maxBatch, *window, *queueDepth, *dispatchers)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if eps, err := srv.Reload(); err != nil {
+					fmt.Fprintln(os.Stderr, "dvserve: reload failed:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "dvserve: reloaded %s + %s (eps %.4f)\n", *modelPath, *valPath, eps)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "dvserve: %v — draining (budget %v)\n", sig, *drainT)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+			err := srv.Drain(ctx, hs)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "dvserve: drained cleanly")
+			return nil
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}

@@ -171,13 +171,33 @@ func (d *Detector) Save(modelPath, validatorPath string) error {
 // hot paths pay only a nil check. The registry is safe to read (e.g.
 // Snapshot, WritePrometheus) while Check runs concurrently.
 func (d *Detector) Telemetry() *telemetry.Registry {
-	d.telOnce.Do(func() {
-		r := telemetry.New()
-		d.mon.SetTelemetry(r)
-		d.invalid.Store(r.Counter(core.MetricInvalidInput))
-		d.telReg = r
-	})
+	d.telOnce.Do(func() { d.attachTelemetry(telemetry.New()) })
 	return d.telReg
+}
+
+// AttachTelemetry wires the detector's instruments into an existing
+// registry instead of a fresh one, so several detectors — e.g. the old
+// and new sides of a hot reload — observe into one set of counters and
+// the series stay monotonic across swaps. It only takes effect on a
+// detector whose telemetry is not yet enabled; the return value reports
+// whether r was attached. A nil registry is ignored.
+func (d *Detector) AttachTelemetry(r *telemetry.Registry) bool {
+	if r == nil {
+		return false
+	}
+	attached := false
+	d.telOnce.Do(func() {
+		d.attachTelemetry(r)
+		attached = true
+	})
+	return attached
+}
+
+// attachTelemetry resolves the instrument handles; callers hold telOnce.
+func (d *Detector) attachTelemetry(r *telemetry.Registry) {
+	d.mon.SetTelemetry(r)
+	d.invalid.Store(r.Counter(core.MetricInvalidInput))
+	d.telReg = r
 }
 
 // countInvalid records one rejected input; a no-op until Telemetry has
@@ -333,3 +353,37 @@ func (d *Detector) StatsDetail() StatsDetail {
 
 // Classes returns the number of labels the detector predicts.
 func (d *Detector) Classes() int { return d.net.Classes }
+
+// InputShape returns the image geometry the detector's classifier
+// expects, so admission layers (e.g. an HTTP front end) can reject
+// wrong-shape inputs before queueing them.
+func (d *Detector) InputShape() (channels, height, width int) {
+	s := d.net.InShape
+	if len(s) != 3 {
+		return 0, 0, 0
+	}
+	return s[0], s[1], s[2]
+}
+
+// Handle is an atomically swappable reference to a Detector — the
+// zero-downtime hot-reload primitive for long-running servers. Readers
+// call Get on every request and always see a fully assembled detector;
+// Swap publishes a replacement (e.g. a re-fitted validator) without
+// pausing in-flight checks, which finish on the detector they started
+// with. The zero value holds nil.
+type Handle struct {
+	p atomic.Pointer[Detector]
+}
+
+// NewHandle returns a handle holding d.
+func NewHandle(d *Detector) *Handle {
+	h := &Handle{}
+	h.p.Store(d)
+	return h
+}
+
+// Get returns the current detector (nil if none was ever stored).
+func (h *Handle) Get() *Detector { return h.p.Load() }
+
+// Swap atomically replaces the detector and returns the previous one.
+func (h *Handle) Swap(d *Detector) *Detector { return h.p.Swap(d) }

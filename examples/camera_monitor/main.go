@@ -7,6 +7,11 @@
 // silently trusting a model operating outside its training
 // distribution.
 //
+// This example runs the monitor in-process; to deploy the same
+// fail-safe as a network service — micro-batched scoring, 429
+// backpressure, hot model reload, graceful drain — serve the saved
+// model+validator pair with cmd/dvserve (see README "Serving").
+//
 //	go run ./examples/camera_monitor
 package main
 

@@ -1,0 +1,154 @@
+package deepvalidation
+
+// Golden-artifact compatibility test: a tiny fitted model+validator
+// pair is committed under artifacts/golden/ together with one recorded
+// verdict. Load + Check must keep reproducing that verdict bit for bit,
+// so any gob schema drift in nn/core/svm — a renamed field, a changed
+// type, a reordered struct — breaks loudly here instead of silently
+// corrupting deployed artifacts.
+//
+// Regenerate after an *intentional* schema change with
+//
+//	DV_GOLDEN_REGEN=1 go test -run TestGoldenArtifacts -count=1 .
+//
+// The recorded floats are exact IEEE-754 bit patterns produced on
+// linux/amd64 (the CI platform); architectures with different FMA
+// contraction behavior may need their own recording.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var (
+	goldenModelPath = filepath.Join("artifacts", "golden", "model.gob")
+	goldenValPath   = filepath.Join("artifacts", "golden", "validator.gob")
+	goldenJSONPath  = filepath.Join("artifacts", "golden", "golden.json")
+)
+
+// goldenRecord is the committed verdict. Floats are stored both
+// human-readable and as hex bit patterns; the bits are what the test
+// compares, so JSON formatting can never soften the check.
+type goldenRecord struct {
+	Epsilon         float64 `json:"epsilon"`
+	EpsilonBits     string  `json:"epsilon_bits"`
+	Label           int     `json:"label"`
+	Confidence      float64 `json:"confidence"`
+	ConfidenceBits  string  `json:"confidence_bits"`
+	Discrepancy     float64 `json:"discrepancy"`
+	DiscrepancyBits string  `json:"discrepancy_bits"`
+	Valid           bool    `json:"valid"`
+}
+
+func bitsOf(v float64) string { return "0x" + strconv.FormatUint(math.Float64bits(v), 16) }
+
+func bitsEqual(recorded string, v float64) bool { return recorded == bitsOf(v) }
+
+// goldenProbe is the fixed input the recorded verdict was produced on.
+func goldenProbe() Image {
+	imgs, _ := benchBandImages(rand.New(rand.NewSource(1234)), 1)
+	return imgs[0]
+}
+
+// goldenBuild trains the committed detector deterministically.
+func goldenBuild() (*Detector, error) {
+	imgs, labels := benchBandImages(rand.New(rand.NewSource(1)), 90)
+	det, err := Build(imgs, labels, BuildConfig{
+		Classes: 3, Epochs: 6, Width: 4, FCWidth: 16,
+		SVMPerClass: 30, SVMFeatures: 64, Seed: 5, Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clean, _ := benchBandImages(rand.New(rand.NewSource(2)), 60)
+	if _, err := det.Calibrate(clean, 0.2); err != nil {
+		return nil, err
+	}
+	return det, nil
+}
+
+func TestGoldenArtifacts(t *testing.T) {
+	if os.Getenv("DV_GOLDEN_REGEN") != "" {
+		det, err := goldenBuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenJSONPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Save(goldenModelPath, goldenValPath); err != nil {
+			t.Fatal(err)
+		}
+		v, err := det.Check(goldenProbe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := goldenRecord{
+			Epsilon:         det.Epsilon(),
+			EpsilonBits:     bitsOf(det.Epsilon()),
+			Label:           v.Label,
+			Confidence:      v.Confidence,
+			ConfidenceBits:  bitsOf(v.Confidence),
+			Discrepancy:     v.Discrepancy,
+			DiscrepancyBits: bitsOf(v.Discrepancy),
+			Valid:           v.Valid,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenJSONPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated golden artifacts: label=%d confidence=%v discrepancy=%v eps=%v",
+			rec.Label, rec.Confidence, rec.Discrepancy, rec.Epsilon)
+	}
+
+	data, err := os.ReadFile(goldenJSONPath)
+	if err != nil {
+		t.Fatalf("reading golden record (run DV_GOLDEN_REGEN=1 to create it): %v", err)
+	}
+	var rec goldenRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := Load(goldenModelPath, goldenValPath)
+	if err != nil {
+		t.Fatalf("Load on committed artifacts failed — gob schema drift? %v", err)
+	}
+	det.SetEpsilon(rec.Epsilon)
+
+	v, err := det.Check(goldenProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != rec.Label || v.Valid != rec.Valid ||
+		!bitsEqual(rec.ConfidenceBits, v.Confidence) ||
+		!bitsEqual(rec.DiscrepancyBits, v.Discrepancy) {
+		t.Fatalf("golden verdict drifted:\n got  label=%d conf=%s disc=%s valid=%v\n want label=%d conf=%s disc=%s valid=%v\n"+
+			"(intentional schema change? regenerate with DV_GOLDEN_REGEN=1)",
+			v.Label, bitsOf(v.Confidence), bitsOf(v.Discrepancy), v.Valid,
+			rec.Label, rec.ConfidenceBits, rec.DiscrepancyBits, rec.Valid)
+	}
+	if !bitsEqual(rec.EpsilonBits, det.Epsilon()) {
+		t.Fatalf("epsilon bits drifted: got %s want %s", bitsOf(det.Epsilon()), rec.EpsilonBits)
+	}
+
+	// The serving path scores through CheckBatch — it must agree bit
+	// for bit with the recorded single-Check verdict.
+	vs, err := det.CheckBatch([]Image{goldenProbe()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 ||
+		math.Float64bits(vs[0].Confidence) != math.Float64bits(v.Confidence) ||
+		math.Float64bits(vs[0].Discrepancy) != math.Float64bits(v.Discrepancy) {
+		t.Fatalf("CheckBatch verdict %+v differs from Check %+v on the golden probe", vs[0], v)
+	}
+}

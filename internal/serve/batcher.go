@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"deepvalidation"
+)
+
+// result is the batcher's answer to one admitted request.
+type result struct {
+	v   deepvalidation.Verdict
+	err error
+}
+
+// pending is one admitted request waiting for a verdict. done is
+// buffered so a batch worker never blocks delivering to a handler that
+// already gave up (deadline expiry between scoring and delivery).
+type pending struct {
+	img  deepvalidation.Image
+	ctx  context.Context
+	done chan result
+}
+
+// tryEnqueue admits the requests all-or-nothing. The atomic depth
+// counter is the real bound: it is incremented before the channel send
+// and decremented at dequeue, so the channel (whose capacity equals
+// QueueDepth) can never block an admitted sender, and admission beyond
+// QueueDepth is refused here — the caller sheds with 429.
+func (s *Server) tryEnqueue(ps ...*pending) bool {
+	n := int64(len(ps))
+	if s.depth.Add(n) > int64(s.cfg.QueueDepth) {
+		s.depth.Add(-n)
+		return false
+	}
+	s.queueDepth.Set(float64(s.depth.Load()))
+	for _, p := range ps {
+		s.queue <- p
+	}
+	return true
+}
+
+// dequeued accounts one request leaving the queue.
+func (s *Server) dequeued() {
+	s.queueDepth.Set(float64(s.depth.Add(-1)))
+	s.pulls.Add(1)
+}
+
+// runBatcher is the collection loop: pull the first waiting request,
+// gather batch-mates up to MaxBatch or for BatchWindow, and hand the
+// batch to the worker pool. On stop it flushes whatever is still
+// queued (the graceful-drain tail) and exits.
+func (s *Server) runBatcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			s.flush()
+			return
+		case first := <-s.queue:
+			s.dequeued()
+			s.dispatch(s.collect(first))
+		}
+	}
+}
+
+// collect gathers one micro-batch starting from first. With a positive
+// window it waits up to BatchWindow for the batch to fill; with the
+// window disabled it only sweeps requests already queued.
+func (s *Server) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	if s.cfg.BatchWindow <= 0 {
+		return s.sweep(batch)
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			s.dequeued()
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			// Draining: stop waiting for the window, score what we have.
+			return batch
+		}
+	}
+	return batch
+}
+
+// sweep non-blockingly tops the batch up from the queue.
+func (s *Server) sweep(batch []*pending) []*pending {
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			s.dequeued()
+			batch = append(batch, p)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch hands one batch to the bounded worker pool. It blocks while
+// every worker is busy — that is the backpressure path: the queue
+// fills behind the blocked batcher and admission starts shedding.
+func (s *Server) dispatch(batch []*pending) {
+	s.batchSize.Observe(float64(len(batch)))
+	s.sem <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() { <-s.sem; s.wg.Done() }()
+		s.runBatch(batch)
+	}()
+}
+
+// flush drains the queue after stop: every straggler still gets a
+// verdict, batched as large as the leftover traffic allows.
+func (s *Server) flush() {
+	for {
+		select {
+		case p := <-s.queue:
+			s.dequeued()
+			s.dispatch(s.sweep([]*pending{p}))
+		default:
+			return
+		}
+	}
+}
+
+// runBatch scores one micro-batch. Requests whose context already
+// expired are skipped (their handlers have answered 504). Verdicts are
+// produced by Detector.CheckBatch, which is bit-identical to
+// sequential Check calls; if the batch as a whole is rejected (e.g. an
+// input geometry change racing a hot reload), members are re-scored
+// singly so one poisoned request cannot fail its batch-mates.
+func (s *Server) runBatch(batch []*pending) {
+	live := make([]*pending, 0, len(batch))
+	imgs := make([]deepvalidation.Image, 0, len(batch))
+	for _, p := range batch {
+		if p.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, p)
+		imgs = append(imgs, p.img)
+	}
+	if len(live) == 0 {
+		return
+	}
+	det := s.handle.Get()
+	vs, err := det.CheckBatch(imgs)
+	if err == nil {
+		for i, p := range live {
+			p.done <- result{v: vs[i]}
+		}
+		return
+	}
+	for _, p := range live {
+		v, cerr := det.Check(p.img)
+		p.done <- result{v: v, err: cerr}
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+// TestBenchServeSnapshot records serving throughput into the repo's
+// committed perf trajectory, BENCH_pipeline.json: the same concurrent
+// client load is driven through an unbatched server (MaxBatch 1, no
+// window — one dispatch per request) and a micro-batched one, and the
+// requests-per-second of each plus the batched:unbatched speedup are
+// merged into the snapshot under a "serving" key. Gated behind
+// DV_BENCH_SNAPSHOT=1 like the pipeline snapshot (see `make snapshot`,
+// which runs both in order so the merge never races).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"deepvalidation/internal/telemetry"
+)
+
+const benchSnapshotPath = "../../BENCH_pipeline.json"
+
+type serveBenchEntry struct {
+	Name        string  `json:"name"`
+	MaxBatch    int     `json:"max_batch"`
+	WindowMs    float64 `json:"batch_window_ms"`
+	Requests    int     `json:"requests"`
+	Clients     int     `json:"clients"`
+	RPS         float64 `json:"requests_per_second"`
+	MeanBatch   float64 `json:"mean_batch_size"`
+	SpeedupVsUB float64 `json:"speedup_vs_unbatched"`
+}
+
+// serveThroughput drives requests concurrent check requests through a
+// fresh server at the given batching config and reports RPS plus the
+// mean dispatched batch size (from the server's own histogram).
+func serveThroughput(t *testing.T, cfg Config, clients, perClient int) (rps, meanBatch float64) {
+	t.Helper()
+	reg := cfg.Registry
+	_, ts := newTestServer(t, cfg)
+	imgs, _ := testImages(77, 32)
+	bodies := make([][]byte, len(imgs))
+	for i, img := range imgs {
+		bodies[i] = checkBody(t, img)
+	}
+	client := ts.Client()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				body := bodies[(c*31+j*7)%len(bodies)]
+				resp, err := client.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d request %d: status %d", c, j, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := clients * perClient
+	rps = float64(total) / elapsed.Seconds()
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms[MetricBatchSize]; ok && h.Count > 0 {
+		meanBatch = h.Sum / float64(h.Count)
+	}
+	return rps, meanBatch
+}
+
+func TestBenchServeSnapshot(t *testing.T) {
+	if os.Getenv("DV_BENCH_SNAPSHOT") == "" {
+		t.Skip("set DV_BENCH_SNAPSHOT=1 to refresh BENCH_pipeline.json")
+	}
+
+	// Closed-loop clients: enough to keep more than MaxBatch requests
+	// outstanding, so batches fill from the queue instead of waiting out
+	// the window (with fewer clients than MaxBatch, the window is pure
+	// added latency and the measurement would say nothing about batching).
+	clients := 8 * runtime.GOMAXPROCS(0)
+	if clients < 64 {
+		clients = 64
+	}
+	perClient := 50
+	settings := []struct {
+		name     string
+		maxBatch int
+		window   time.Duration
+	}{
+		{"unbatched", 1, -1},
+		{"batched", 32, 2 * time.Millisecond},
+	}
+
+	entries := make([]serveBenchEntry, 0, len(settings))
+	for _, s := range settings {
+		cfg := Config{
+			MaxBatch:    s.maxBatch,
+			BatchWindow: s.window,
+			QueueDepth:  4096,
+			Workers:     2,
+			Registry:    telemetry.New(),
+		}
+		rps, meanBatch := serveThroughput(t, cfg, clients, perClient)
+		winMs := float64(s.window) / float64(time.Millisecond)
+		if s.window < 0 {
+			winMs = 0
+		}
+		entries = append(entries, serveBenchEntry{
+			Name:     s.name,
+			MaxBatch: s.maxBatch,
+			WindowMs: winMs,
+			Requests: clients * perClient,
+			Clients:  clients,
+			RPS:      rps,
+			MeanBatch: func() float64 {
+				if s.maxBatch == 1 {
+					return 1
+				}
+				return meanBatch
+			}(),
+		})
+	}
+	base := entries[0].RPS
+	for i := range entries {
+		entries[i].SpeedupVsUB = entries[i].RPS / base
+	}
+	speedup := entries[len(entries)-1].SpeedupVsUB
+
+	note := "micro-batched vs per-request dispatch under the same concurrent load; " +
+		"batching amortizes dispatch and rides the detector's parallel CheckBatch pool"
+	if runtime.GOMAXPROCS(0) < 4 {
+		note = fmt.Sprintf("snapshot machine exposes only %d CPU(s); micro-batching cannot fan scoring out, "+
+			"so the recorded speedup reflects dispatch amortization only — rerun `make snapshot` on a multicore host",
+			runtime.GOMAXPROCS(0))
+	}
+
+	// Merge under "serving" so the pipeline snapshot's fields survive.
+	raw, err := os.ReadFile(benchSnapshotPath)
+	if err != nil {
+		t.Fatalf("pipeline snapshot must exist before the serving merge (run it first, as `make snapshot` does): %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := json.Marshal(struct {
+		Note       string            `json:"note"`
+		Benchmarks []serveBenchEntry `json:"benchmarks"`
+		Speedup    float64           `json:"batched_speedup_vs_unbatched"`
+	}{note, entries, speedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["serving"] = serving
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchSnapshotPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, e := range entries {
+		t.Logf("%-10s max_batch=%-3d window=%gms: %8.1f req/s (mean batch %.1f, %.2fx)",
+			e.Name, e.MaxBatch, e.WindowMs, e.RPS, e.MeanBatch, e.SpeedupVsUB)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 1 {
+		t.Errorf("micro-batched throughput %.2fx below unbatched on a %d-way host",
+			speedup, runtime.GOMAXPROCS(0))
+	}
+}

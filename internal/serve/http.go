@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"deepvalidation"
+	"deepvalidation/internal/telemetry"
+)
+
+// CheckRequest is the body of POST /v1/check: one image, flattened
+// channel-major with pixel values in [0, 1].
+type CheckRequest struct {
+	Channels int       `json:"channels"`
+	Height   int       `json:"height"`
+	Width    int       `json:"width"`
+	Pixels   []float64 `json:"pixels"`
+}
+
+// image converts the wire form to the public Image type.
+func (r CheckRequest) image() deepvalidation.Image {
+	return deepvalidation.Image{Channels: r.Channels, Height: r.Height, Width: r.Width, Pixels: r.Pixels}
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Images []CheckRequest `json:"images"`
+}
+
+// VerdictResponse is the wire form of one verdict.
+type VerdictResponse struct {
+	Label       int     `json:"label"`
+	Confidence  float64 `json:"confidence"`
+	Discrepancy float64 `json:"discrepancy"`
+	Valid       bool    `json:"valid"`
+}
+
+// BatchResponse answers POST /v1/batch with verdicts in input order.
+type BatchResponse struct {
+	Verdicts []VerdictResponse `json:"verdicts"`
+}
+
+// ReloadResponse answers POST /v1/reload.
+type ReloadResponse struct {
+	Reloaded bool    `json:"reloaded"`
+	Epsilon  float64 `json:"epsilon"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func verdictResponse(v deepvalidation.Verdict) VerdictResponse {
+	return VerdictResponse{Label: v.Label, Confidence: v.Confidence, Discrepancy: v.Discrepancy, Valid: v.Valid}
+}
+
+// decodeCheckRequest strictly parses one check-request body: unknown
+// fields, trailing garbage, and images that fail Validate are all
+// rejected. JSON cannot carry NaN/Inf literals, so accepted pixel
+// values are always finite — Validate enforces it regardless.
+func decodeCheckRequest(data []byte) (deepvalidation.Image, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req CheckRequest
+	if err := dec.Decode(&req); err != nil {
+		return deepvalidation.Image{}, fmt.Errorf("decoding check request: %w", err)
+	}
+	if dec.More() {
+		return deepvalidation.Image{}, errors.New("decoding check request: trailing data after JSON object")
+	}
+	img := req.image()
+	if err := img.Validate(); err != nil {
+		return deepvalidation.Image{}, err
+	}
+	return img, nil
+}
+
+// decodeBatchRequest strictly parses a batch-request body, validating
+// every member image.
+func decodeBatchRequest(data []byte) ([]deepvalidation.Image, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding batch request: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("decoding batch request: trailing data after JSON object")
+	}
+	if len(req.Images) == 0 {
+		return nil, errors.New("batch request carries no images")
+	}
+	imgs := make([]deepvalidation.Image, len(req.Images))
+	for i, r := range req.Images {
+		img := r.image()
+		if err := img.Validate(); err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+		imgs[i] = img
+	}
+	return imgs, nil
+}
+
+// Handler returns the server's routing table:
+//
+//	POST /v1/check   — validate one image
+//	POST /v1/batch   — validate many images, verdicts in input order
+//	POST /v1/reload  — hot-swap the detector via Config.Loader
+//	GET  /healthz    — process liveness
+//	GET  /readyz     — detector loaded, warmed, and not draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// shedResponse answers 429 with the configured Retry-After hint.
+func (s *Server) shedResponse(w http.ResponseWriter) {
+	s.shed.Inc()
+	secs := int64(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+}
+
+// readBody reads at most MaxBodyBytes, answering 413 (oversized) or
+// 400 (transport error) itself. The boolean reports success.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// admissible answers method/drain preconditions shared by the check
+// and batch handlers.
+func (s *Server) admissible(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	return true
+}
+
+// checkShape rejects images whose geometry the current detector cannot
+// consume, before they occupy queue slots.
+func (s *Server) checkShape(img deepvalidation.Image) error {
+	c, h, w := s.handle.Get().InputShape()
+	if img.Channels != c || img.Height != h || img.Width != w {
+		return fmt.Errorf("model expects a %dx%dx%d image, got %dx%dx%d",
+			c, h, w, img.Channels, img.Height, img.Width)
+	}
+	return nil
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan(s.latCheck)
+	defer sp.End()
+	s.reqCheck.Inc()
+	if !s.admissible(w, r) {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	img, err := decodeCheckRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.checkShape(img); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	p := &pending{img: img, ctx: ctx, done: make(chan result, 1)}
+	if !s.tryEnqueue(p) {
+		s.shedResponse(w)
+		return
+	}
+	select {
+	case res := <-p.done:
+		if res.err != nil {
+			writeError(w, http.StatusBadRequest, res.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, verdictResponse(res.v))
+	case <-ctx.Done():
+		s.deadlines.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before a verdict was produced")
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan(s.latBatch)
+	defer sp.End()
+	s.reqBatch.Inc()
+	if !s.admissible(w, r) {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	imgs, err := decodeBatchRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(imgs) > s.cfg.QueueDepth {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the admission queue depth %d; split it", len(imgs), s.cfg.QueueDepth))
+		return
+	}
+	for i, img := range imgs {
+		if err := s.checkShape(img); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("image %d: %v", i, err))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	ps := make([]*pending, len(imgs))
+	for i, img := range imgs {
+		ps[i] = &pending{img: img, ctx: ctx, done: make(chan result, 1)}
+	}
+	if !s.tryEnqueue(ps...) {
+		s.shedResponse(w)
+		return
+	}
+	resp := BatchResponse{Verdicts: make([]VerdictResponse, len(ps))}
+	for i, p := range ps {
+		select {
+		case res := <-p.done:
+			if res.err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("image %d: %v", i, res.err))
+				return
+			}
+			resp.Verdicts[i] = verdictResponse(res.v)
+		case <-ctx.Done():
+			s.deadlines.Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before all verdicts were produced")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.Loader == nil {
+		writeError(w, http.StatusNotImplemented, "reload not configured (no loader)")
+		return
+	}
+	eps, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Reloaded: true, Epsilon: eps})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if s.draining.Load() {
+			fmt.Fprintln(w, "draining")
+		} else {
+			fmt.Fprintln(w, "loading")
+		}
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// Drain is the SIGTERM path: stop admitting (readyz flips to 503 and
+// new checks get 503), let hs.Shutdown wait for in-flight handlers —
+// whose verdicts the still-running batcher keeps producing — then stop
+// the batcher and wait for its workers. Returns hs.Shutdown's error
+// (context expiry if in-flight work outlived ctx).
+func (s *Server) Drain(ctx context.Context, hs *http.Server) error {
+	s.draining.Store(true)
+	err := hs.Shutdown(ctx)
+	s.Close()
+	return err
+}

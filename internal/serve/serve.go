@@ -1,0 +1,266 @@
+// Package serve is the online serving subsystem: an HTTP/JSON front
+// end that validates live inference traffic with a Deep Validation
+// detector — the deployment mode the paper motivates with its
+// camera-monitor scenario (Section I), where a fail-safe supervisor
+// must flag corner-case inputs as they arrive.
+//
+// The core of the package is a micro-batcher. Requests admitted
+// through a bounded queue are collected into batches of up to
+// Config.MaxBatch, or for at most Config.BatchWindow (whichever fires
+// first), and dispatched to Detector.CheckBatch on a bounded worker
+// pool — so serving throughput rides the parallel scoring pipeline
+// instead of paying per-request scoring cost, while verdicts stay
+// bit-identical to sequential Detector.Check calls.
+//
+// Robustness properties, in order of importance:
+//
+//   - Bounded memory: the admission queue sheds load with 429 +
+//     Retry-After once Config.QueueDepth requests are waiting, and
+//     request bodies are capped at Config.MaxBodyBytes (413 beyond).
+//   - Bounded latency: every request carries a context deadline
+//     (Config.RequestTimeout); requests whose deadline expires before
+//     a verdict is produced get 504 and are skipped by the batcher.
+//   - Graceful drain: Drain stops admission, lets in-flight requests
+//     finish on the still-running batcher, then stops it — no verdict
+//     in flight is lost on SIGTERM.
+//   - Zero-downtime reload: the detector sits behind an atomic
+//     deepvalidation.Handle; Reload swaps in a freshly loaded
+//     model+validator pair (carrying the live ε across) while checks
+//     already running finish on the detector they started with.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepvalidation"
+	"deepvalidation/internal/telemetry"
+)
+
+// Metric names for the serving instruments, following the repository's
+// Prometheus conventions (dv_ prefix, _total counters, _seconds
+// timings). Endpoint-scoped families carry an endpoint label.
+const (
+	// MetricQueueDepth gauges the number of requests currently waiting
+	// in the admission queue (shedding begins at Config.QueueDepth).
+	MetricQueueDepth = "dv_serve_queue_depth"
+	// MetricBatchSize histograms how many requests each dispatched
+	// micro-batch carried — the batcher's effectiveness signal.
+	MetricBatchSize = "dv_serve_batch_size"
+	// MetricRequestLatency is the end-to-end handler latency
+	// (decode + queue wait + scoring + encode), labeled by endpoint.
+	MetricRequestLatency = "dv_serve_request_latency_seconds"
+	// MetricRequests counts handled requests, labeled by endpoint.
+	MetricRequests = "dv_serve_requests_total"
+	// MetricShed counts requests rejected with 429 by the full queue.
+	MetricShed = "dv_serve_shed_total"
+	// MetricDeadline counts requests whose deadline expired before a
+	// verdict was produced (504).
+	MetricDeadline = "dv_serve_deadline_expired_total"
+	// MetricReload counts successful detector hot-swaps.
+	MetricReload = "dv_serve_reload_total"
+)
+
+// BatchSizeBuckets cover micro-batch sizes from singletons to the
+// largest sensible MaxBatch.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxBatch caps how many requests one micro-batch may carry
+	// (default 32).
+	MaxBatch int
+	// BatchWindow is how long the batcher waits for a batch to fill
+	// after the first request arrives. 0 means the default (2ms); a
+	// negative value disables waiting entirely, so each batch carries
+	// only the requests already queued at dispatch time.
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are
+	// shed with 429 (default 256).
+	QueueDepth int
+	// Workers bounds how many micro-batches are scored concurrently
+	// (default 2). Each batch additionally fans across the detector's
+	// own CheckBatch worker pool.
+	Workers int
+	// MaxBodyBytes caps request bodies; larger ones get 413
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline; requests that cannot
+	// be answered in time get 504 (default 30s).
+	RequestTimeout time.Duration
+	// RetryAfter is advertised in the Retry-After header of 429
+	// responses (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// Loader, when non-nil, enables POST /v1/reload and Reload: it
+	// returns a freshly loaded detector to swap in. The server carries
+	// the live ε across the swap, so loaders should not calibrate.
+	Loader func() (*deepvalidation.Detector, error)
+	// Registry, when non-nil, receives the serving metrics and the
+	// detector's own instruments (verdict counters, discrepancy and
+	// latency histograms). Nil disables collection at zero cost.
+	Registry *telemetry.Registry
+}
+
+// defaults fills unset fields in place.
+func (c *Config) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server is the serving subsystem: admission queue, micro-batcher,
+// worker pool, and HTTP handlers. Construct with New, mount Handler on
+// an http.Server, and shut down with Drain (or Close when no HTTP
+// server is involved).
+type Server struct {
+	cfg    Config
+	handle *deepvalidation.Handle
+
+	queue chan *pending
+	depth atomic.Int64 // admitted but not yet dequeued; bounds the queue
+	pulls atomic.Int64 // requests the batcher has dequeued (test sync point)
+	sem   chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup // batcher goroutine + in-flight batch workers
+
+	ready     atomic.Bool
+	draining  atomic.Bool
+	closeOnce sync.Once
+
+	reloadMu sync.Mutex // serializes Reload swaps
+
+	// Instrument handles resolved once at New; all nil-safe.
+	queueDepth *telemetry.Gauge
+	batchSize  *telemetry.Histogram
+	latCheck   *telemetry.Histogram
+	latBatch   *telemetry.Histogram
+	reqCheck   *telemetry.Counter
+	reqBatch   *telemetry.Counter
+	shed       *telemetry.Counter
+	deadlines  *telemetry.Counter
+	reloads    *telemetry.Counter
+}
+
+// New builds a server around the handle's detector, warms it (one
+// throwaway check so the first request doesn't pay lazy-allocation
+// cost), wires telemetry, and starts the batcher. The server is ready
+// as soon as New returns.
+func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
+	if h == nil || h.Get() == nil {
+		return nil, errors.New("serve: need a handle holding a detector")
+	}
+	cfg.defaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:    cfg,
+		handle: h,
+		queue:  make(chan *pending, cfg.QueueDepth),
+		sem:    make(chan struct{}, cfg.Workers),
+		stop:   make(chan struct{}),
+
+		queueDepth: reg.Gauge(MetricQueueDepth),
+		batchSize:  reg.Histogram(MetricBatchSize, BatchSizeBuckets),
+		latCheck:   reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "check"), telemetry.DefLatencyBuckets),
+		latBatch:   reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "batch"), telemetry.DefLatencyBuckets),
+		reqCheck:   reg.Counter(telemetry.Label(MetricRequests, "endpoint", "check")),
+		reqBatch:   reg.Counter(telemetry.Label(MetricRequests, "endpoint", "batch")),
+		shed:       reg.Counter(MetricShed),
+		deadlines:  reg.Counter(MetricDeadline),
+		reloads:    reg.Counter(MetricReload),
+	}
+	// Warm before attaching telemetry so the throwaway verdict doesn't
+	// pollute the counters.
+	if err := Warm(h.Get()); err != nil {
+		return nil, fmt.Errorf("serve: warming detector: %w", err)
+	}
+	h.Get().AttachTelemetry(reg)
+	s.ready.Store(true)
+	s.wg.Add(1)
+	go s.runBatcher()
+	return s, nil
+}
+
+// Warm runs one throwaway check on a zero image of the detector's
+// input geometry, forcing lazy allocations before live traffic
+// arrives. It counts one verdict into the detector's Stats (but not
+// into telemetry when called before AttachTelemetry, as New does).
+func Warm(det *deepvalidation.Detector) error {
+	c, h, w := det.InputShape()
+	if c <= 0 || h <= 0 || w <= 0 {
+		return fmt.Errorf("serve: detector reports input shape (%d,%d,%d)", c, h, w)
+	}
+	img := deepvalidation.Image{Channels: c, Height: h, Width: w, Pixels: make([]float64, c*h*w)}
+	_, err := det.Check(img)
+	return err
+}
+
+// Detector returns the currently serving detector.
+func (s *Server) Detector() *deepvalidation.Detector { return s.handle.Get() }
+
+// Ready reports whether the server is loaded, warmed, and not
+// draining — the /readyz predicate.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// QueueLen returns the number of requests admitted but not yet pulled
+// by the batcher.
+func (s *Server) QueueLen() int { return int(s.depth.Load()) }
+
+// Reload swaps in a freshly loaded detector from Config.Loader with
+// zero downtime: the new detector is warmed and instrumented before
+// the atomic swap, the live ε is carried across (Load does not persist
+// calibration), and checks already in flight finish on the old
+// detector. Returns the ε now serving.
+func (s *Server) Reload() (epsilon float64, err error) {
+	if s.cfg.Loader == nil {
+		return 0, errors.New("serve: reload not configured (no Loader)")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	det, err := s.cfg.Loader()
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	eps := s.handle.Get().Epsilon()
+	det.SetEpsilon(eps)
+	if err := Warm(det); err != nil {
+		return 0, fmt.Errorf("serve: warming reloaded detector: %w", err)
+	}
+	det.AttachTelemetry(s.cfg.Registry)
+	s.handle.Swap(det)
+	s.reloads.Inc()
+	return eps, nil
+}
+
+// Close stops the batcher after flushing any queued requests and waits
+// for in-flight batches to complete. Admission stops immediately
+// (handlers answer 503). When an http.Server fronts this Server,
+// prefer Drain, which sequences the HTTP shutdown first.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+	})
+	s.wg.Wait()
+}
