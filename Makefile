@@ -19,11 +19,14 @@ race:
 	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve .
 
 # smoke runs the end-to-end checks against real processes: the
-# observability pass (train, score, scrape /metrics) and the serving
-# pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain).
+# observability pass (train, score, scrape /metrics), the serving
+# pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain), and
+# the chaos pass (artifact corruption, crash-safe saves, reload
+# degradation and recovery).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
+	./scripts/chaos_smoke.sh
 
 # check is the CI gate: full build + tests, vet, the race pass, and the
 # telemetry smoke run.
@@ -35,6 +38,8 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzImageValidate -fuzztime 30s -run '^$$' .
 	$(GO) test -fuzz FuzzCheckRequest -fuzztime 30s -run '^$$' ./internal/serve
+	$(GO) test -fuzz FuzzReadPNM -fuzztime 30s -run '^$$' ./internal/dataset
+	$(GO) test -fuzz FuzzLoadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 
 # snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
 # for the parallel scoring & fitting pipeline plus the serving

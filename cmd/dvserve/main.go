@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,6 +61,10 @@ func run() error {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (504 beyond)")
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight requests")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		reloadRetry = flag.Int("reload-retries", 3, "SIGHUP reload attempts before giving up")
+		reloadBack  = flag.Duration("reload-backoff", 500*time.Millisecond, "initial SIGHUP reload backoff (doubles per attempt)")
+		reloadCap   = flag.Duration("reload-backoff-cap", 10*time.Second, "SIGHUP reload backoff ceiling")
+		reloadMax   = flag.Int("reload-max-failures", 3, "consecutive reload failures before /readyz reports degraded")
 	)
 	flag.Parse()
 
@@ -96,6 +101,11 @@ func run() error {
 		RetryAfter:     *retryAfter,
 		Loader:         load,
 		Registry:       reg,
+
+		ReloadRetries:     *reloadRetry,
+		ReloadBackoff:     *reloadBack,
+		ReloadBackoffCap:  *reloadCap,
+		ReloadMaxFailures: *reloadMax,
 	})
 	if err != nil {
 		return err
@@ -123,15 +133,25 @@ func run() error {
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	var reloading atomic.Bool // one in-flight SIGHUP reload at a time
 	for {
 		select {
 		case sig := <-sigs:
 			if sig == syscall.SIGHUP {
-				if eps, err := srv.Reload(); err != nil {
-					fmt.Fprintln(os.Stderr, "dvserve: reload failed:", err)
-				} else {
-					fmt.Fprintf(os.Stderr, "dvserve: reloaded %s + %s (eps %.4f)\n", *modelPath, *valPath, eps)
+				if !reloading.CompareAndSwap(false, true) {
+					fmt.Fprintln(os.Stderr, "dvserve: reload already in progress; ignoring SIGHUP")
+					continue
 				}
+				go func() {
+					defer reloading.Store(false)
+					// The old detector keeps serving throughout; retries
+					// back off so a half-written artifact gets time to land.
+					if eps, err := srv.ReloadWithBackoff(context.Background()); err != nil {
+						fmt.Fprintf(os.Stderr, "dvserve: reload failed after %d attempts: %v\n", *reloadRetry, err)
+					} else {
+						fmt.Fprintf(os.Stderr, "dvserve: reloaded %s + %s (eps %.4f)\n", *modelPath, *valPath, eps)
+					}
+				}()
 				continue
 			}
 			fmt.Fprintf(os.Stderr, "dvserve: %v — draining (budget %v)\n", sig, *drainT)

@@ -34,11 +34,21 @@ type Verdict struct {
 	Confidence float64
 	// Discrepancy is the joint discrepancy d of the paper's
 	// Algorithm 2; higher means further outside the training
-	// distribution.
+	// distribution. For a quarantined verdict it covers only the
+	// finite per-layer terms, so it is always representable (JSON
+	// cannot carry NaN).
 	Discrepancy float64
 	// Valid is true when Discrepancy is below the calibrated threshold:
-	// the prediction may be trusted.
+	// the prediction may be trusted. A quarantined verdict is never
+	// valid.
 	Valid bool
+	// Quarantined is true when scoring encountered non-finite numerics
+	// (a NaN or Inf activation or discrepancy). The prediction is
+	// rejected outright — a poisoned score cannot be meaningfully
+	// compared against ε — and counted into dv_quarantined_total so
+	// operators can tell numeric corruption apart from detected corner
+	// cases.
+	Quarantined bool
 }
 
 // BuildConfig controls Build.
@@ -134,7 +144,13 @@ func Build(images []Image, labels []int, cfg BuildConfig) (*Detector, error) {
 	return det, nil
 }
 
-// Load restores a detector from files written by Save.
+// Load restores a detector from files written by Save. Both artifacts
+// are integrity-checked (SHA-256 for checksummed containers, gob and
+// structural validation for legacy bare-gob files) and the pair is
+// cross-checked for compatibility — model name, class count, and the
+// tap-shape↔SVM-dimensionality agreement that would otherwise panic at
+// the first Check — so a corrupt or mismatched pair fails here with a
+// descriptive error instead of poisoning a running service.
 func Load(modelPath, validatorPath string) (*Detector, error) {
 	net, err := nn.Load(modelPath)
 	if err != nil {
@@ -143,6 +159,9 @@ func Load(modelPath, validatorPath string) (*Detector, error) {
 	val, err := core.LoadValidator(validatorPath)
 	if err != nil {
 		return nil, err
+	}
+	if err := core.CheckCompat(net, val); err != nil {
+		return nil, fmt.Errorf("deepvalidation: %s and %s are not a compatible pair: %w", modelPath, validatorPath, err)
 	}
 	return assemble(net, val)
 }
@@ -155,7 +174,11 @@ func assemble(net *nn.Network, val *core.Validator) (*Detector, error) {
 	return &Detector{net: net, val: val, mon: mon}, nil
 }
 
-// Save persists the detector's model and validator.
+// Save persists the detector's model and validator as checksummed
+// artifact containers, each written atomically (temp file + fsync +
+// rename) so a crash mid-save never clobbers a previously good
+// artifact. Load verifies the checksums and still reads legacy
+// bare-gob files written before the container format existed.
 func (d *Detector) Save(modelPath, validatorPath string) error {
 	if err := d.net.Save(modelPath); err != nil {
 		return err
@@ -250,6 +273,7 @@ func (d *Detector) Check(img Image) (Verdict, error) {
 		Confidence:  v.Confidence,
 		Discrepancy: v.Discrepancy,
 		Valid:       v.Valid,
+		Quarantined: v.Quarantined,
 	}, nil
 }
 
@@ -295,6 +319,7 @@ func (d *Detector) CheckBatch(imgs []Image) ([]Verdict, error) {
 			Confidence:  v.Confidence,
 			Discrepancy: v.Discrepancy,
 			Valid:       v.Valid,
+			Quarantined: v.Quarantined,
 		}
 	}
 	return out, nil

@@ -23,12 +23,20 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"deepvalidation/internal/artifact"
 )
 
 var (
 	goldenModelPath = filepath.Join("artifacts", "golden", "model.gob")
 	goldenValPath   = filepath.Join("artifacts", "golden", "validator.gob")
 	goldenJSONPath  = filepath.Join("artifacts", "golden", "golden.json")
+	// The same detector in both persisted formats: model.gob and
+	// validator.gob are LEGACY bare-gob files (pre-container), while the
+	// .dvart pair is the checksummed container format. Both must keep
+	// loading and keep producing the recorded verdict bit for bit.
+	goldenModelContainer = filepath.Join("artifacts", "golden", "model.dvart")
+	goldenValContainer   = filepath.Join("artifacts", "golden", "validator.dvart")
 )
 
 // goldenRecord is the committed verdict. Floats are stored both
@@ -81,7 +89,14 @@ func TestGoldenArtifacts(t *testing.T) {
 		if err := os.MkdirAll(filepath.Dir(goldenJSONPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := det.Save(goldenModelPath, goldenValPath); err != nil {
+		// The .gob pair must stay in the LEGACY bare-gob format (it pins
+		// the pre-container fallback path), so it is written with raw
+		// Encode — Detector.Save would wrap it in a container. The .dvart
+		// pair is the container format, written through Save.
+		if err := writeLegacyGolden(det); err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Save(goldenModelContainer, goldenValContainer); err != nil {
 			t.Fatal(err)
 		}
 		v, err := det.Check(goldenProbe())
@@ -150,5 +165,102 @@ func TestGoldenArtifacts(t *testing.T) {
 		math.Float64bits(vs[0].Confidence) != math.Float64bits(v.Confidence) ||
 		math.Float64bits(vs[0].Discrepancy) != math.Float64bits(v.Discrepancy) {
 		t.Fatalf("CheckBatch verdict %+v differs from Check %+v on the golden probe", vs[0], v)
+	}
+}
+
+// writeLegacyGolden persists the golden pair as bare gob — the
+// pre-container format — so the legacy fallback path stays pinned by a
+// committed fixture.
+func writeLegacyGolden(det *Detector) error {
+	for _, job := range []struct {
+		path   string
+		encode func(w *os.File) error
+	}{
+		{goldenModelPath, func(w *os.File) error { return det.net.Encode(w) }},
+		{goldenValPath, func(w *os.File) error { return det.val.Encode(w) }},
+	} {
+		f, err := os.Create(job.path)
+		if err != nil {
+			return err
+		}
+		if err := job.encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestGoldenContainerArtifacts pins the checksummed container format
+// the same way TestGoldenArtifacts pins the legacy bare-gob format:
+// the committed .dvart pair must load, and its verdict on the golden
+// probe must match the recorded bits — which also proves the two
+// on-disk formats of the same detector are verdict-equivalent.
+func TestGoldenContainerArtifacts(t *testing.T) {
+	data, err := os.ReadFile(goldenJSONPath)
+	if err != nil {
+		t.Fatalf("reading golden record (run DV_GOLDEN_REGEN=1 to create it): %v", err)
+	}
+	var rec goldenRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := Load(goldenModelContainer, goldenValContainer)
+	if err != nil {
+		t.Fatalf("Load on committed container artifacts failed — container format drift? %v", err)
+	}
+	det.SetEpsilon(rec.Epsilon)
+	v, err := det.Check(goldenProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != rec.Label || v.Valid != rec.Valid ||
+		!bitsEqual(rec.ConfidenceBits, v.Confidence) ||
+		!bitsEqual(rec.DiscrepancyBits, v.Discrepancy) {
+		t.Fatalf("container golden verdict drifted:\n got  label=%d conf=%s disc=%s valid=%v\n want label=%d conf=%s disc=%s valid=%v",
+			v.Label, bitsOf(v.Confidence), bitsOf(v.Discrepancy), v.Valid,
+			rec.Label, rec.ConfidenceBits, rec.DiscrepancyBits, rec.Valid)
+	}
+
+	// Cross-format equivalence: the legacy pair and the container pair
+	// must be the same detector, bit for bit.
+	legacy, err := Load(goldenModelPath, goldenValPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.SetEpsilon(rec.Epsilon)
+	lv, err := legacy.Check(goldenProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(lv.Confidence) != math.Float64bits(v.Confidence) ||
+		math.Float64bits(lv.Discrepancy) != math.Float64bits(v.Discrepancy) ||
+		lv.Label != v.Label || lv.Valid != v.Valid {
+		t.Fatalf("legacy verdict %+v differs from container verdict %+v", lv, v)
+	}
+
+	// A container golden must actually be a container (and the legacy
+	// golden must actually be legacy) — otherwise this test would pin
+	// one format twice.
+	for _, tc := range []struct {
+		path       string
+		wantLegacy bool
+	}{
+		{goldenModelContainer, false},
+		{goldenValContainer, false},
+		{goldenModelPath, true},
+		{goldenValPath, true},
+	} {
+		info, _, err := artifact.ReadFile(tc.path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", tc.path, err)
+		}
+		if info.Legacy != tc.wantLegacy {
+			t.Fatalf("%s: legacy=%v, want %v", tc.path, info.Legacy, tc.wantLegacy)
+		}
 	}
 }

@@ -1,0 +1,240 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepvalidation/internal/faultinject"
+)
+
+func testHeader() Header {
+	return Header{
+		Kind:       KindModel,
+		ModelName:  "unit-test",
+		Classes:    10,
+		InputShape: []int{1, 28, 28},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	payload := []byte("not really gob, but the container does not care")
+	path := filepath.Join(t.TempDir(), "a.dvart")
+	if err := WriteFile(path, testHeader(), payload); err != nil {
+		t.Fatal(err)
+	}
+	info, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Legacy {
+		t.Fatal("container read back as legacy")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round-trip mismatch: %q", got)
+	}
+	h := info.Header
+	if h.Kind != KindModel || h.ModelName != "unit-test" || h.Classes != 10 {
+		t.Fatalf("header round-trip mismatch: %+v", h)
+	}
+	if h.PayloadSize != int64(len(payload)) || len(h.PayloadSHA256) != 64 {
+		t.Fatalf("integrity fields not filled: %+v", h)
+	}
+}
+
+func TestLegacyFallback(t *testing.T) {
+	// Anything not starting with the magic is legacy — this is how the
+	// committed bare-gob goldens keep loading.
+	path := filepath.Join(t.TempDir(), "legacy.gob")
+	raw := []byte{0x1f, 0x02, 0x03, 0x04}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Legacy {
+		t.Fatal("bare file not reported as legacy")
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("legacy payload altered: % x", got)
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte("deepvalidation"), 64)
+	var buf bytes.Buffer
+	if err := Encode(&buf, testHeader(), payload); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated in magic+length", good[:10]},
+		{"truncated inside header", good[:20]},
+		{"truncated inside payload", good[:len(good)-7]},
+		{"extra trailing bytes", append(append([]byte(nil), good...), 0xAB)},
+		// Header bytes are not self-checksummed (semantic flips are
+		// caught by the load-time header↔payload cross-check), but a
+		// flip in the JSON structure or the recorded checksum must be
+		// caught right here.
+		{"bit flip breaks header JSON", mutate(func(b []byte) []byte { b[12] ^= 0x01; return b })}, // opening '{'
+		{"bit flip in recorded checksum", mutate(func(b []byte) []byte {
+			i := bytes.Index(b, []byte(`"payload_sha256":"`))
+			if i < 0 {
+				t.Fatal("checksum field not found")
+			}
+			b[i+len(`"payload_sha256":"`)] ^= 0x02 // hex digit stays hex-ish, value changes
+			return b
+		})},
+		{"bit flip in payload", mutate(func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b })},
+		{"huge header length", mutate(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:12], maxHeaderLen+1)
+			return b
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode("t.dvart", tc.data)
+			if err == nil {
+				t.Fatal("corrupt container accepted")
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a CorruptError", err)
+			}
+		})
+	}
+}
+
+// TestDecodeMagicPrefixTooShort: a file shorter than the magic is
+// legacy, not an error — gob will reject it downstream.
+func TestDecodeShortFileIsLegacy(t *testing.T) {
+	info, _, err := Decode("short", []byte("DVAR"))
+	if err != nil || !info.Legacy {
+		t.Fatalf("short file: info=%+v err=%v, want legacy", info, err)
+	}
+}
+
+// TestWriteFileAtomicOnRenameFault proves the crash-safety contract:
+// a fault at the publish point (temp file durable, rename pending)
+// leaves the old artifact byte-identical and no temp litter behind.
+func TestWriteFileAtomicOnRenameFault(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dvart")
+	oldPayload := []byte("the old, trusted artifact")
+	if err := WriteFile(path, testHeader(), oldPayload); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.PointArtifactRename, nil)
+	err = WriteFile(path, testHeader(), []byte("the new artifact that never lands"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	faultinject.Reset()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save mutated the destination")
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// TestWriteFileFaultBeforeWrite: a fault before any payload byte is
+// written must also leave the destination untouched and clean up.
+func TestWriteFileFaultBeforeWrite(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dvart")
+	if err := WriteFile(path, testHeader(), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.PointArtifactWrite, nil)
+	if err := WriteFile(path, testHeader(), []byte("new")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	faultinject.Reset()
+	if _, got, err := ReadFile(path); err != nil || string(got) != "old" {
+		t.Fatalf("destination after failed save: payload=%q err=%v", got, err)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// TestWriteFileFirstSave: atomic write with no pre-existing
+// destination publishes cleanly.
+func TestWriteFileFirstSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.dvart")
+	if err := WriteFile(path, testHeader(), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := ReadFile(path); err != nil || string(got) != "v1" {
+		t.Fatalf("fresh save: payload=%q err=%v", got, err)
+	}
+}
+
+// TestWriteFileOverwrite: a second save replaces the first atomically.
+func TestWriteFileOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dvart")
+	if err := WriteFile(path, testHeader(), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, testHeader(), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := ReadFile(path); err != nil || string(got) != "v2" {
+		t.Fatalf("after overwrite: payload=%q err=%v", got, err)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// TestStaleTempTolerated: a crash-orphaned temp file from a previous
+// run must not confuse later reads or writes of the real artifact.
+func TestStaleTempTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dvart")
+	if err := os.WriteFile(path+".tmp-12345", []byte("orphaned half-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, testHeader(), []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := ReadFile(path); err != nil || string(got) != "real" {
+		t.Fatalf("artifact beside stale temp: payload=%q err=%v", got, err)
+	}
+}
+
+// assertNoTempLitter fails if any *.tmp-* file survives in dir.
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

@@ -44,10 +44,20 @@ type Verdict struct {
 	// Label and Confidence are the classifier's output.
 	Label      int
 	Confidence float64
-	// Discrepancy is the joint discrepancy d of Algorithm 2.
+	// Discrepancy is the joint discrepancy d of Algorithm 2. For a
+	// quarantined verdict it covers only the finite layer terms, so it
+	// stays representable everywhere (JSON cannot carry NaN).
 	Discrepancy float64
-	// Valid is true when d ≤ ε: the prediction may be trusted.
+	// Valid is true when d ≤ ε: the prediction may be trusted. A
+	// quarantined verdict is never valid.
 	Valid bool
+	// Quarantined is true when scoring hit non-finite numerics (an
+	// overflowing activation, a corrupt weight): the discrepancy is not
+	// a trustworthy distance, so the sample is rejected outright
+	// instead of being compared against ε. Counted separately in
+	// telemetry (dv_quarantined_total) so operators can tell numeric
+	// corruption apart from detected corner cases.
+	Quarantined bool
 }
 
 // ClassStats is the per-predicted-class slice of a monitor's lifetime
@@ -168,18 +178,19 @@ func (m *Monitor) Check(x *tensor.Tensor) Verdict {
 	}
 	res := m.val.Score(m.net, x)
 	m.mu.Lock()
-	valid := res.Joint < m.epsilon
+	valid := !res.NonFinite && res.Joint < m.epsilon
 	m.record(res.Label, valid)
 	m.mu.Unlock()
 	if tel != nil {
 		tel.verdictLatency.ObserveSince(t0)
-		tel.observe(res.Label, valid)
+		tel.observe(res.Label, valid, res.NonFinite)
 	}
 	return Verdict{
 		Label:       res.Label,
 		Confidence:  res.Confidence,
 		Discrepancy: res.Joint,
 		Valid:       valid,
+		Quarantined: res.NonFinite,
 	}
 }
 
@@ -201,13 +212,14 @@ func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
 	out := make([]Verdict, len(results))
 	m.mu.Lock()
 	for i, res := range results {
-		valid := res.Joint < m.epsilon
+		valid := !res.NonFinite && res.Joint < m.epsilon
 		m.record(res.Label, valid)
 		out[i] = Verdict{
 			Label:       res.Label,
 			Confidence:  res.Confidence,
 			Discrepancy: res.Joint,
 			Valid:       valid,
+			Quarantined: res.NonFinite,
 		}
 	}
 	m.mu.Unlock()
@@ -215,7 +227,7 @@ func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
 		perSample := time.Since(t0).Seconds() / float64(len(out))
 		for _, v := range out {
 			tel.verdictLatency.Observe(perSample)
-			tel.observe(v.Label, v.Valid)
+			tel.observe(v.Label, v.Valid, v.Quarantined)
 		}
 	}
 	return out

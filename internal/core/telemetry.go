@@ -24,6 +24,12 @@ const (
 	// (Image.Validate / CheckInput failures) — malformed data, not
 	// detected corner cases.
 	MetricInvalidInput = "dv_invalid_input_total"
+	// MetricQuarantined counts verdicts quarantined because scoring hit
+	// non-finite numerics (NaN/Inf activations or discrepancies) —
+	// numeric corruption, distinct from both malformed inputs and
+	// detected corner cases. Quarantined verdicts also count into
+	// MetricChecked/MetricFlagged.
+	MetricQuarantined = "dv_quarantined_total"
 	// MetricVerdictLatency is the end-to-end Monitor.Check latency; in
 	// CheckBatch each verdict observes the batch's amortized
 	// per-sample latency (total elapsed / batch size), which is the
@@ -97,6 +103,7 @@ func (v *Validator) SetTelemetry(r *telemetry.Registry) {
 type monTelemetry struct {
 	checked        *telemetry.Counter
 	flagged        *telemetry.Counter
+	quarantined    *telemetry.Counter
 	classChecked   []*telemetry.Counter // indexed by predicted class
 	classFlagged   []*telemetry.Counter
 	verdictLatency *telemetry.Histogram
@@ -117,6 +124,7 @@ func (m *Monitor) SetTelemetry(r *telemetry.Registry) {
 	t := &monTelemetry{
 		checked:        r.Counter(MetricChecked),
 		flagged:        r.Counter(MetricFlagged),
+		quarantined:    r.Counter(MetricQuarantined),
 		classChecked:   make([]*telemetry.Counter, m.val.Classes),
 		classFlagged:   make([]*telemetry.Counter, m.val.Classes),
 		verdictLatency: r.Histogram(MetricVerdictLatency, telemetry.DefLatencyBuckets),
@@ -133,12 +141,15 @@ func (m *Monitor) SetTelemetry(r *telemetry.Registry) {
 
 // observe folds one verdict into the monitor's counters; latency is
 // recorded separately because batch paths amortize it.
-func (t *monTelemetry) observe(label int, valid bool) {
+func (t *monTelemetry) observe(label int, valid, quarantined bool) {
 	t.checked.Inc()
 	t.classChecked[label].Inc()
 	if !valid {
 		t.flagged.Inc()
 		t.classFlagged[label].Inc()
+	}
+	if quarantined {
+		t.quarantined.Inc()
 	}
 }
 
@@ -168,6 +179,9 @@ func TelemetrySummary(w io.Writer, s telemetry.Snapshot) {
 	}
 	fmt.Fprintf(w, "  flagged total              %d (%.1f%%)\n", flagged, rate)
 	fmt.Fprintf(w, "  invalid inputs             %d\n", invalid)
+	if q := s.Counters[MetricQuarantined]; q > 0 {
+		fmt.Fprintf(w, "  quarantined (non-finite)   %d\n", q)
+	}
 	if lat.Count > 0 {
 		fmt.Fprintf(w, "  %s latency p50/p95/p99  %.3fms / %.3fms / %.3fms\n",
 			latName, 1e3*lat.P50, 1e3*lat.P95, 1e3*lat.P99)

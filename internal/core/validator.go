@@ -9,20 +9,22 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"deepvalidation/internal/artifact"
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/svm"
-	"deepvalidation/internal/tensor"
 	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/tensor"
 )
 
 // Config controls validator fitting.
@@ -99,10 +101,18 @@ type Result struct {
 	Confidence float64
 	// Layer[i] is d_i for validated layer LayerIdx[i]:
 	// −t(f_i(x)) per Eq. 2; positive means "outside the reference
-	// distribution".
+	// distribution". Non-finite terms are preserved here for
+	// diagnostics but excluded from Joint.
 	Layer []float64
-	// Joint is Σ_i d_i (Eq. 3).
+	// Joint is Σ_i d_i (Eq. 3), summed over the finite terms only.
 	Joint float64
+	// NonFinite is true when the forward pass or any per-layer
+	// discrepancy produced NaN or ±Inf — numeric corruption (an
+	// overflowing activation, a poisoned weight) rather than a
+	// measurable distance. Such samples must be quarantined, never
+	// compared against ε: NaN compares false with everything, so a
+	// poisoned Joint would otherwise read as "valid".
+	NonFinite bool
 }
 
 // Fit runs Algorithm 1: it drops misclassified training images, groups
@@ -382,16 +392,30 @@ func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
 		Confidence: probs.Data[label],
 		Layer:      make([]float64, len(v.LayerIdx)),
 	}
+	if !finite(res.Confidence) {
+		// The softmax itself overflowed; zero the confidence so the
+		// verdict stays JSON-encodable and flag the numeric corruption.
+		res.Confidence = 0
+		res.NonFinite = true
+	}
 	for p, l := range v.LayerIdx {
 		d := -v.SVMs[p][label].Decision(v.Reducers[p].Reduce(taps[l]))
 		res.Layer[p] = d
+		if !finite(d) {
+			res.NonFinite = true
+			continue // keep the poison out of the Eq. 3 sum
+		}
 		res.Joint += d
 	}
 	if tel != nil {
 		tel.scoreLatency.ObserveSince(t0)
-		tel.joint.Observe(res.Joint)
-		for p, d := range res.Layer {
-			tel.layers[p].Observe(d)
+		if !res.NonFinite {
+			// Non-finite samples are counted by the monitor's quarantine
+			// counter; their partial sums would distort the histograms.
+			tel.joint.Observe(res.Joint)
+			for p, d := range res.Layer {
+				tel.layers[p].Observe(d)
+			}
 		}
 	}
 	return res
@@ -485,7 +509,8 @@ func LayerScores(rs []Result, p int) []float64 {
 	return out
 }
 
-// Encode writes the validator in gob format.
+// Encode writes the validator in gob format (the artifact payload
+// format; Save wraps it in the checksummed container).
 func (v *Validator) Encode(w io.Writer) error {
 	if err := gob.NewEncoder(w).Encode(v); err != nil {
 		return fmt.Errorf("core: encoding validator for %q: %w", v.ModelName, err)
@@ -493,35 +518,181 @@ func (v *Validator) Encode(w io.Writer) error {
 	return nil
 }
 
-// DecodeValidator reads a validator written by Encode.
+// DecodeValidator reads a validator written by Encode and validates
+// its structural invariants.
 func DecodeValidator(r io.Reader) (*Validator, error) {
 	var v Validator
 	if err := gob.NewDecoder(r).Decode(&v); err != nil {
 		return nil, fmt.Errorf("core: decoding validator: %w", err)
 	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
 	return &v, nil
 }
 
-// Save writes the validator to a file.
-func (v *Validator) Save(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: saving validator: %w", err)
+// Validate checks the invariants a freshly decoded validator must hold
+// before it can score traffic: a positive class count, sorted unique
+// layer indices, one reducer and one full row of fitted SVMs per
+// layer, and finite SVM coefficients. Corrupt-but-decodable artifacts
+// fail here with an error instead of panicking inside Score.
+func (v *Validator) Validate() error {
+	if v.Classes <= 0 {
+		return fmt.Errorf("core: validator for %q declares %d classes", v.ModelName, v.Classes)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("core: closing %s: %w", path, cerr)
+	if len(v.LayerIdx) == 0 {
+		return fmt.Errorf("core: validator for %q validates no layers", v.ModelName)
+	}
+	for i, l := range v.LayerIdx {
+		if l < 0 {
+			return fmt.Errorf("core: validator for %q has negative layer index %d", v.ModelName, l)
 		}
-	}()
-	return v.Encode(f)
+		if i > 0 && v.LayerIdx[i-1] >= l {
+			return fmt.Errorf("core: validator for %q has unsorted or duplicate layer indices %v", v.ModelName, v.LayerIdx)
+		}
+	}
+	if len(v.Reducers) != len(v.LayerIdx) {
+		return fmt.Errorf("core: validator for %q has %d reducers for %d layers", v.ModelName, len(v.Reducers), len(v.LayerIdx))
+	}
+	if len(v.SVMs) != len(v.LayerIdx) {
+		return fmt.Errorf("core: validator for %q has %d SVM rows for %d layers", v.ModelName, len(v.SVMs), len(v.LayerIdx))
+	}
+	for p, row := range v.SVMs {
+		if len(row) != v.Classes {
+			return fmt.Errorf("core: validator for %q has %d SVMs at layer %d for %d classes", v.ModelName, len(row), v.LayerIdx[p], v.Classes)
+		}
+		for k, m := range row {
+			if m == nil {
+				return fmt.Errorf("core: validator for %q is missing SVM(layer %d, class %d)", v.ModelName, v.LayerIdx[p], k)
+			}
+			if m.Dim <= 0 || len(m.Support) != len(m.Alpha) {
+				return fmt.Errorf("core: SVM(layer %d, class %d) of %q is malformed (%d-dim, %d support vectors, %d coefficients)",
+					v.LayerIdx[p], k, v.ModelName, m.Dim, len(m.Support), len(m.Alpha))
+			}
+			if !finite(m.Rho) || !finite(m.Gamma) || !finiteAll(m.Alpha) {
+				return fmt.Errorf("core: SVM(layer %d, class %d) of %q carries non-finite coefficients", v.LayerIdx[p], k, v.ModelName)
+			}
+			for _, sv := range m.Support {
+				if len(sv) != m.Dim {
+					return fmt.Errorf("core: SVM(layer %d, class %d) of %q has a %d-dim support vector in a %d-dim model",
+						v.LayerIdx[p], k, v.ModelName, len(sv), m.Dim)
+				}
+				if !finiteAll(sv) {
+					return fmt.Errorf("core: SVM(layer %d, class %d) of %q carries a non-finite support vector", v.LayerIdx[p], k, v.ModelName)
+				}
+			}
+		}
+	}
+	for _, s := range [][]float64{v.NormMean, v.NormStd} {
+		if len(s) != 0 && len(s) != len(v.LayerIdx) {
+			return fmt.Errorf("core: validator for %q has %d normalization terms for %d layers", v.ModelName, len(s), len(v.LayerIdx))
+		}
+		if !finiteAll(s) {
+			return fmt.Errorf("core: validator for %q carries non-finite normalization statistics", v.ModelName)
+		}
+	}
+	return nil
 }
 
-// LoadValidator reads a validator from a file written by Save.
+// CheckCompat cross-checks a model/validator pair before they are
+// trusted to serve together: matching model names and class counts,
+// layer indices inside the network's hidden range, and — the check
+// that prevents a panic deep inside svm.Decision — every reducer's
+// output dimensionality against its SVMs' expected input. Run it on
+// every load and hot reload; a mismatched pair (e.g. a validator
+// fitted for last week's architecture) is an operator error that must
+// be rejected while the previous detector keeps serving.
+func CheckCompat(net *nn.Network, val *Validator) error {
+	if net == nil || val == nil {
+		return fmt.Errorf("core: compatibility check needs both a network and a validator")
+	}
+	if net.ModelName != val.ModelName {
+		return fmt.Errorf("core: model %q and validator %q disagree on the model name", net.ModelName, val.ModelName)
+	}
+	if net.Classes != val.Classes {
+		return fmt.Errorf("core: model %q has %d classes but its validator was fitted for %d", net.ModelName, net.Classes, val.Classes)
+	}
+	for _, l := range val.LayerIdx {
+		if l >= net.NumLayers()-1 {
+			return fmt.Errorf("core: validator probes layer %d but model %q has %d hidden layers", l, net.ModelName, net.NumLayers()-1)
+		}
+	}
+	tapShapes := net.TapShapes(net.InShape)
+	for p, l := range val.LayerIdx {
+		want := val.SVMs[p][0].Dim
+		if got := val.Reducers[p].OutDim(tapShapes[l]); got != want {
+			return fmt.Errorf("core: layer %d of model %q yields %d features but its SVMs expect %d (validator fitted for a different architecture?)",
+				l, net.ModelName, got, want)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finiteAll(s []float64) bool {
+	for _, v := range s {
+		if !finite(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Save atomically persists the validator as a checksummed artifact
+// container (see internal/artifact); a crash mid-save leaves any
+// previous artifact at path intact.
+func (v *Validator) Save(path string) error {
+	var buf bytes.Buffer
+	if err := v.Encode(&buf); err != nil {
+		return err
+	}
+	h := artifact.Header{
+		Kind:      artifact.KindValidator,
+		ModelName: v.ModelName,
+		Classes:   v.Classes,
+		Layers:    append([]int(nil), v.LayerIdx...),
+	}
+	if err := artifact.WriteFile(path, h, buf.Bytes()); err != nil {
+		return fmt.Errorf("core: saving validator: %w", err)
+	}
+	return nil
+}
+
+// LoadValidator reads a validator saved by Save, verifying the
+// container checksum and header↔payload identity; legacy bare-gob
+// files load through a transparent fallback. The decoded validator is
+// structurally validated either way.
 func LoadValidator(path string) (*Validator, error) {
-	f, err := os.Open(path)
+	info, payload, err := artifact.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading validator: %w", err)
 	}
-	defer f.Close()
-	return DecodeValidator(f)
+	v, err := DecodeValidator(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading validator from %s: %w", path, err)
+	}
+	if !info.Legacy {
+		h := info.Header
+		if h.Kind != artifact.KindValidator {
+			return nil, fmt.Errorf("core: %s is a %q artifact, want %q", path, h.Kind, artifact.KindValidator)
+		}
+		if h.ModelName != v.ModelName || h.Classes != v.Classes || !layersEqual(h.Layers, v.LayerIdx) {
+			return nil, fmt.Errorf("core: %s header (%s, %d classes, layers %v) disagrees with its payload (%s, %d classes, layers %v)",
+				path, h.ModelName, h.Classes, h.Layers, v.ModelName, v.Classes, v.LayerIdx)
+		}
+	}
+	return v, nil
+}
+
+func layersEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -30,4 +32,54 @@ func FuzzReadPNM(f *testing.F) {
 			t.Fatalf("pixels outside [0,1]: [%v, %v]", img.Min(), img.Max())
 		}
 	})
+}
+
+// FuzzLoadPNM drives the on-disk entry point — the stat-based size cap
+// plus ReadPNM — with arbitrary file contents. Same contract: clean
+// error or well-formed tensor, never a panic.
+func FuzzLoadPNM(f *testing.F) {
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P6\n1 1\n255\nabc"))
+	f.Add([]byte(""))
+	f.Add([]byte("P5"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.pnm")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		img, err := LoadPNM(path)
+		if err != nil {
+			return
+		}
+		if img.Rank() != 3 {
+			t.Fatalf("parsed image has rank %d", img.Rank())
+		}
+		if img.Min() < 0 || img.Max() > 1 {
+			t.Fatalf("pixels outside [0,1]: [%v, %v]", img.Min(), img.Max())
+		}
+	})
+}
+
+// TestLoadPNMSizeCap proves the disk-size guard: a file whose size
+// exceeds the cap is refused without being parsed.
+func TestLoadPNMSizeCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.pnm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("P5\n2 2\n255\nabcd"); err != nil {
+		t.Fatal(err)
+	}
+	// Sparse-extend past the cap without writing gigabytes.
+	if err := f.Truncate(maxPNMFileBytes + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPNM(path); err == nil {
+		t.Fatal("LoadPNM accepted a file beyond the size cap")
+	}
 }

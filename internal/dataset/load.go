@@ -71,13 +71,25 @@ func ReadPNM(r io.Reader) (*tensor.Tensor, error) {
 	return img, nil
 }
 
-// LoadPNM reads a PGM/PPM file from disk.
+// maxPNMFileBytes bounds a PNM file on disk: the largest geometry
+// ReadPNM accepts (64 Mpixel) plus slack for the header and comment
+// lines. Larger files are rejected before a byte is parsed, so a
+// mislabeled multi-gigabyte file cannot stall ingestion.
+const maxPNMFileBytes = (1 << 26) + 4096
+
+// LoadPNM reads a PGM/PPM file from disk, refusing files too large to
+// be a valid PNM for the geometry cap in ReadPNM.
 func LoadPNM(path string) (*tensor.Tensor, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: loading image: %w", err)
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err != nil {
+		return nil, fmt.Errorf("dataset: loading image: %w", err)
+	} else if fi.Size() > maxPNMFileBytes {
+		return nil, fmt.Errorf("dataset: %s is %d bytes, beyond the %d-byte PNM cap", path, fi.Size(), maxPNMFileBytes)
+	}
 	return ReadPNM(f)
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"deepvalidation"
+	"deepvalidation/internal/faultinject"
 )
 
 // result is the batcher's answer to one admitted request.
@@ -154,6 +155,9 @@ func (s *Server) runBatch(batch []*pending) {
 	}
 	det := s.handle.Get()
 	vs, err := det.CheckBatch(imgs)
+	if ferr := faultinject.Check(faultinject.PointServeBatch); ferr != nil {
+		err = ferr // chaos seam: force the per-request fallback path
+	}
 	if err == nil {
 		for i, p := range live {
 			p.done <- result{v: vs[i]}

@@ -34,12 +34,15 @@ type BatchRequest struct {
 	Images []CheckRequest `json:"images"`
 }
 
-// VerdictResponse is the wire form of one verdict.
+// VerdictResponse is the wire form of one verdict. Quarantined is
+// omitted on the (overwhelmingly common) finite path, so healthy
+// responses are byte-identical to the pre-quarantine wire format.
 type VerdictResponse struct {
 	Label       int     `json:"label"`
 	Confidence  float64 `json:"confidence"`
 	Discrepancy float64 `json:"discrepancy"`
 	Valid       bool    `json:"valid"`
+	Quarantined bool    `json:"quarantined,omitempty"`
 }
 
 // BatchResponse answers POST /v1/batch with verdicts in input order.
@@ -59,7 +62,7 @@ type errorResponse struct {
 }
 
 func verdictResponse(v deepvalidation.Verdict) VerdictResponse {
-	return VerdictResponse{Label: v.Label, Confidence: v.Confidence, Discrepancy: v.Discrepancy, Valid: v.Valid}
+	return VerdictResponse{Label: v.Label, Confidence: v.Confidence, Discrepancy: v.Discrepancy, Valid: v.Valid, Quarantined: v.Quarantined}
 }
 
 // decodeCheckRequest strictly parses one check-request body: unknown
@@ -318,6 +321,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		} else {
 			fmt.Fprintln(w, "loading")
 		}
+		return
+	}
+	if s.Degraded() {
+		// Still answering checks on the last good detector, but the
+		// artifact pipeline is broken: stop routing fresh traffic here.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %d consecutive reload failures; serving the last good detector\n", s.FailStreak())
 		return
 	}
 	fmt.Fprintln(w, "ready")

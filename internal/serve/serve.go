@@ -30,6 +30,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"deepvalidation"
+	"deepvalidation/internal/faultinject"
 	"deepvalidation/internal/telemetry"
 )
 
@@ -62,6 +64,14 @@ const (
 	MetricDeadline = "dv_serve_deadline_expired_total"
 	// MetricReload counts successful detector hot-swaps.
 	MetricReload = "dv_serve_reload_total"
+	// MetricReloadFailed counts rejected hot-swaps (loader errors,
+	// corrupt or incompatible artifacts). Every failure leaves the
+	// previous detector serving.
+	MetricReloadFailed = "dv_serve_reload_failed_total"
+	// MetricReloadFailStreak gauges the consecutive reload failures
+	// since the last success; /readyz degrades once it reaches
+	// Config.ReloadMaxFailures.
+	MetricReloadFailStreak = "dv_serve_reload_fail_streak"
 )
 
 // BatchSizeBuckets cover micro-batch sizes from singletons to the
@@ -99,6 +109,19 @@ type Config struct {
 	// returns a freshly loaded detector to swap in. The server carries
 	// the live ε across the swap, so loaders should not calibrate.
 	Loader func() (*deepvalidation.Detector, error)
+	// ReloadMaxFailures is how many consecutive reload failures flip
+	// /readyz to degraded (default 3). The server keeps answering
+	// checks on the last good detector either way; degradation is the
+	// operator signal that the artifact pipeline is broken.
+	ReloadMaxFailures int
+	// ReloadRetries bounds the attempts of ReloadWithBackoff, the
+	// SIGHUP-driven reload path (default 3).
+	ReloadRetries int
+	// ReloadBackoff is the initial retry delay of ReloadWithBackoff,
+	// doubling per failure up to ReloadBackoffCap (defaults 500ms and
+	// 10s).
+	ReloadBackoff    time.Duration
+	ReloadBackoffCap time.Duration
 	// Registry, when non-nil, receives the serving metrics and the
 	// detector's own instruments (verdict counters, discrepancy and
 	// latency histograms). Nil disables collection at zero cost.
@@ -128,6 +151,18 @@ func (c *Config) defaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ReloadMaxFailures <= 0 {
+		c.ReloadMaxFailures = 3
+	}
+	if c.ReloadRetries <= 0 {
+		c.ReloadRetries = 3
+	}
+	if c.ReloadBackoff <= 0 {
+		c.ReloadBackoff = 500 * time.Millisecond
+	}
+	if c.ReloadBackoffCap <= 0 {
+		c.ReloadBackoffCap = 10 * time.Second
+	}
 }
 
 // Server is the serving subsystem: admission queue, micro-batcher,
@@ -149,18 +184,21 @@ type Server struct {
 	draining  atomic.Bool
 	closeOnce sync.Once
 
-	reloadMu sync.Mutex // serializes Reload swaps
+	reloadMu   sync.Mutex   // serializes Reload swaps
+	failStreak atomic.Int64 // consecutive reload failures since the last success
 
 	// Instrument handles resolved once at New; all nil-safe.
-	queueDepth *telemetry.Gauge
-	batchSize  *telemetry.Histogram
-	latCheck   *telemetry.Histogram
-	latBatch   *telemetry.Histogram
-	reqCheck   *telemetry.Counter
-	reqBatch   *telemetry.Counter
-	shed       *telemetry.Counter
-	deadlines  *telemetry.Counter
-	reloads    *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	batchSize   *telemetry.Histogram
+	latCheck    *telemetry.Histogram
+	latBatch    *telemetry.Histogram
+	reqCheck    *telemetry.Counter
+	reqBatch    *telemetry.Counter
+	shed        *telemetry.Counter
+	deadlines   *telemetry.Counter
+	reloads     *telemetry.Counter
+	reloadFails *telemetry.Counter
+	streakGauge *telemetry.Gauge
 }
 
 // New builds a server around the handle's detector, warms it (one
@@ -180,15 +218,17 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 		sem:    make(chan struct{}, cfg.Workers),
 		stop:   make(chan struct{}),
 
-		queueDepth: reg.Gauge(MetricQueueDepth),
-		batchSize:  reg.Histogram(MetricBatchSize, BatchSizeBuckets),
-		latCheck:   reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "check"), telemetry.DefLatencyBuckets),
-		latBatch:   reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "batch"), telemetry.DefLatencyBuckets),
-		reqCheck:   reg.Counter(telemetry.Label(MetricRequests, "endpoint", "check")),
-		reqBatch:   reg.Counter(telemetry.Label(MetricRequests, "endpoint", "batch")),
-		shed:       reg.Counter(MetricShed),
-		deadlines:  reg.Counter(MetricDeadline),
-		reloads:    reg.Counter(MetricReload),
+		queueDepth:  reg.Gauge(MetricQueueDepth),
+		batchSize:   reg.Histogram(MetricBatchSize, BatchSizeBuckets),
+		latCheck:    reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "check"), telemetry.DefLatencyBuckets),
+		latBatch:    reg.Histogram(telemetry.Label(MetricRequestLatency, "endpoint", "batch"), telemetry.DefLatencyBuckets),
+		reqCheck:    reg.Counter(telemetry.Label(MetricRequests, "endpoint", "check")),
+		reqBatch:    reg.Counter(telemetry.Label(MetricRequests, "endpoint", "batch")),
+		shed:        reg.Counter(MetricShed),
+		deadlines:   reg.Counter(MetricDeadline),
+		reloads:     reg.Counter(MetricReload),
+		reloadFails: reg.Counter(MetricReloadFailed),
+		streakGauge: reg.Gauge(MetricReloadFailStreak),
 	}
 	// Warm before attaching telemetry so the throwaway verdict doesn't
 	// pollute the counters.
@@ -228,29 +268,104 @@ func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 func (s *Server) QueueLen() int { return int(s.depth.Load()) }
 
 // Reload swaps in a freshly loaded detector from Config.Loader with
-// zero downtime: the new detector is warmed and instrumented before
-// the atomic swap, the live ε is carried across (Load does not persist
+// zero downtime: the new detector is validated and warmed before the
+// atomic swap, the live ε is carried across (Load does not persist
 // calibration), and checks already in flight finish on the old
 // detector. Returns the ε now serving.
+//
+// Reload is the validate-before-trust gate of the serving path: a
+// loader error (corrupt or incompatible artifacts — Load checksums
+// containers and cross-checks the model/validator pair), a geometry
+// change that would strand queued requests, or a failed warm-up all
+// reject the swap and leave the previous detector serving untouched.
+// Each rejection increments dv_serve_reload_failed_total and the
+// consecutive-failure streak; ReloadMaxFailures consecutive rejections
+// flip /readyz to degraded until a reload succeeds.
 func (s *Server) Reload() (epsilon float64, err error) {
 	if s.cfg.Loader == nil {
 		return 0, errors.New("serve: reload not configured (no Loader)")
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	eps, err := s.tryReload()
+	if err != nil {
+		s.reloadFails.Inc()
+		s.streakGauge.Set(float64(s.failStreak.Add(1)))
+		return 0, err
+	}
+	s.failStreak.Store(0)
+	s.streakGauge.Set(0)
+	s.reloads.Inc()
+	return eps, nil
+}
+
+// tryReload performs one validated swap attempt; callers hold
+// reloadMu and account the outcome.
+func (s *Server) tryReload() (float64, error) {
+	if err := faultinject.Check(faultinject.PointServeReload); err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
 	det, err := s.cfg.Loader()
 	if err != nil {
 		return 0, fmt.Errorf("serve: reload: %w", err)
 	}
-	eps := s.handle.Get().Epsilon()
+	old := s.handle.Get()
+	oc, oh, ow := old.InputShape()
+	if nc, nh, nw := det.InputShape(); nc != oc || nh != oh || nw != ow {
+		return 0, fmt.Errorf("serve: reload rejected: input geometry changed from %dx%dx%d to %dx%dx%d (queued requests would be stranded; restart to change geometry)",
+			oc, oh, ow, nc, nh, nw)
+	}
+	eps := old.Epsilon()
 	det.SetEpsilon(eps)
 	if err := Warm(det); err != nil {
 		return 0, fmt.Errorf("serve: warming reloaded detector: %w", err)
 	}
 	det.AttachTelemetry(s.cfg.Registry)
 	s.handle.Swap(det)
-	s.reloads.Inc()
 	return eps, nil
+}
+
+// FailStreak returns the consecutive reload failures since the last
+// successful swap (or since start).
+func (s *Server) FailStreak() int { return int(s.failStreak.Load()) }
+
+// Degraded reports whether the reload path has failed
+// Config.ReloadMaxFailures or more consecutive times. A degraded
+// server still answers checks — the last good detector keeps serving —
+// but /readyz turns 503 so orchestrators stop routing fresh traffic to
+// an instance whose artifacts cannot be refreshed.
+func (s *Server) Degraded() bool {
+	return int(s.failStreak.Load()) >= s.cfg.ReloadMaxFailures
+}
+
+// ReloadWithBackoff is the SIGHUP reload path: up to
+// Config.ReloadRetries attempts, sleeping between failures with
+// exponential backoff from Config.ReloadBackoff capped at
+// Config.ReloadBackoffCap. It returns the first success or the last
+// failure; ctx cancellation or server shutdown cut the retry loop
+// short. Failure accounting (metrics, degradation) happens per
+// attempt, inside Reload.
+func (s *Server) ReloadWithBackoff(ctx context.Context) (epsilon float64, err error) {
+	backoff := s.cfg.ReloadBackoff
+	for attempt := 1; ; attempt++ {
+		epsilon, err = s.Reload()
+		if err == nil || attempt >= s.cfg.ReloadRetries {
+			return epsilon, err
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return 0, fmt.Errorf("serve: reload abandoned after %d attempts: %w (last failure: %v)", attempt, ctx.Err(), err)
+		case <-s.stop:
+			timer.Stop()
+			return 0, fmt.Errorf("serve: server closed during reload retry (last failure: %v)", err)
+		}
+		if backoff *= 2; backoff > s.cfg.ReloadBackoffCap {
+			backoff = s.cfg.ReloadBackoffCap
+		}
+	}
 }
 
 // Close stops the batcher after flushing any queued requests and waits
