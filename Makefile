@@ -20,13 +20,16 @@ race:
 
 # smoke runs the end-to-end checks against real processes: the
 # observability pass (train, score, scrape /metrics), the serving
-# pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain), and
-# the chaos pass (artifact corruption, crash-safe saves, reload
-# degradation and recovery).
+# pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain), the
+# chaos pass (artifact corruption, crash-safe saves, reload
+# degradation and recovery), and the tracing pass (span trees, flight
+# recorder triage, drift gauges, legacy drift degradation — against a
+# race-built dvserve).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
 	./scripts/chaos_smoke.sh
+	./scripts/trace_smoke.sh
 
 # check is the CI gate: full build + tests, vet, the race pass, and the
 # telemetry smoke run.
@@ -38,6 +41,7 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzImageValidate -fuzztime 30s -run '^$$' .
 	$(GO) test -fuzz FuzzCheckRequest -fuzztime 30s -run '^$$' ./internal/serve
+	$(GO) test -fuzz FuzzTraceID -fuzztime 30s -run '^$$' ./internal/trace
 	$(GO) test -fuzz FuzzReadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzLoadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 
@@ -47,3 +51,4 @@ fuzz:
 snapshot:
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchPipelineSnapshot -count=1 -v .
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchServeSnapshot -count=1 -v ./internal/serve
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchTraceSnapshot -count=1 -v ./internal/serve

@@ -63,16 +63,20 @@ func run() (int, error) {
 		if err := net.CheckInput(img); err != nil {
 			return 0, fmt.Errorf("%s: %w", path, err)
 		}
-		v := mon.Check(img)
+		// One scoring pass serves both the verdict and the per-layer
+		// breakdown (the -v path used to score the image twice).
+		v, res := mon.CheckDetailed(img, nil)
 		status := "VALID"
 		if !v.Valid {
 			status = "CORNER CASE"
 			flagged++
 		}
+		if v.Quarantined {
+			status = "QUARANTINED"
+		}
 		fmt.Printf("%s: class %d (confidence %.3f), discrepancy %+.4f [%s]\n",
 			path, v.Label, v.Confidence, v.Discrepancy, status)
 		if *verbose {
-			res := val.Score(net, img)
 			for p, d := range res.Layer {
 				fmt.Printf("  layer %d: d = %+.4f\n", val.LayerIdx[p]+1, d)
 			}

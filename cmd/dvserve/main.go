@@ -18,6 +18,14 @@
 // re-fitted model+validator pair from the same paths with zero
 // downtime, carrying the live ε across; -metrics-addr serves the
 // shared telemetry registry (/metrics, /debug/vars, /debug/pprof/).
+//
+// Observability: -trace-sample enables per-verdict traces (inject an
+// X-DV-Trace-Id header to follow one request; read the span tree back
+// on GET /debug/dv/trace/{id}); GET /debug/dv/flight is a bounded
+// flight recorder of recent verdicts with per-layer discrepancies
+// (-flight sizes it); GET /debug/dv/drift and the dv_drift_* metrics
+// compare live per-layer discrepancy quantiles against the fit-time
+// reference persisted in the validator (-drift-window, -drift-threshold).
 package main
 
 import (
@@ -45,6 +53,14 @@ func main() {
 	}
 }
 
+// driftMode summarizes the drift watch for the startup banner.
+func driftMode(srv *serve.Server) string {
+	if srv.DriftStatus().Enabled {
+		return "on"
+	}
+	return "off (disabled or no fit-time reference in the validator)"
+}
+
 func run() error {
 	var (
 		modelPath   = flag.String("model", "model.gob", "trained model path")
@@ -65,6 +81,12 @@ func run() error {
 		reloadBack  = flag.Duration("reload-backoff", 500*time.Millisecond, "initial SIGHUP reload backoff (doubles per attempt)")
 		reloadCap   = flag.Duration("reload-backoff-cap", 10*time.Second, "SIGHUP reload backoff ceiling")
 		reloadMax   = flag.Int("reload-max-failures", 3, "consecutive reload failures before /readyz reports degraded")
+
+		traceSample = flag.Float64("trace-sample", 0, "per-verdict trace head-sampling rate in [0,1]; 0 disables tracing (X-DV-Trace-Id headers are always traced when > 0)")
+		traceStore  = flag.Int("trace-store", 256, "retained sampled traces for /debug/dv/trace/{id}")
+		flightSize  = flag.Int("flight", 256, "flight recorder size for /debug/dv/flight (0 disables)")
+		driftWindow = flag.Int("drift-window", 512, "drift-watch sliding window over accepted verdicts (0 disables)")
+		driftThresh = flag.Float64("drift-threshold", 0.5, "per-layer quantile-shift score that raises dv_drift_alarm")
 	)
 	flag.Parse()
 
@@ -91,6 +113,16 @@ func run() error {
 	if batchWindow <= 0 {
 		batchWindow = -1 // 0 on the flag means "no waiting", not "default"
 	}
+	// On the flags, 0 means "off"; in serve.Config, negative disables
+	// and 0 means "default".
+	flight := *flightSize
+	if flight <= 0 {
+		flight = -1
+	}
+	drift := *driftWindow
+	if drift <= 0 {
+		drift = -1
+	}
 	srv, err := serve.New(handle, serve.Config{
 		MaxBatch:       *maxBatch,
 		BatchWindow:    batchWindow,
@@ -106,6 +138,12 @@ func run() error {
 		ReloadBackoff:     *reloadBack,
 		ReloadBackoffCap:  *reloadCap,
 		ReloadMaxFailures: *reloadMax,
+
+		TraceSample:    *traceSample,
+		TraceStore:     *traceStore,
+		FlightSize:     flight,
+		DriftWindow:    drift,
+		DriftThreshold: *driftThresh,
 	})
 	if err != nil {
 		return err
@@ -127,9 +165,9 @@ func run() error {
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz on http://%s\n", ln.Addr())
-	fmt.Fprintf(os.Stderr, "dvserve: ready (eps %.4f, max-batch %d, batch-window %v, queue-depth %d, dispatch-workers %d)\n",
-		det.Epsilon(), *maxBatch, *window, *queueDepth, *dispatchers)
+	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz, /debug/dv/{trace,flight,drift} on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dvserve: ready (eps %.4f, max-batch %d, batch-window %v, queue-depth %d, dispatch-workers %d, trace-sample %g, drift %s)\n",
+		det.Epsilon(), *maxBatch, *window, *queueDepth, *dispatchers, *traceSample, driftMode(srv))
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

@@ -113,6 +113,7 @@ func runFit(args []string) error {
 		features  = fs.Int("max-features", 256, "SVM feature dimensionality cap")
 		layers    = fs.String("layers", "", `layers to validate: "" for all hidden, "rear:K", or comma-separated tap indices`)
 		workers   = fs.Int("workers", 0, "fitting worker bound (0 = GOMAXPROCS, 1 = sequential; the fitted validator is identical)")
+		drift     = fs.Bool("drift", true, "persist the per-layer discrepancy quantile reference dvserve's drift watch compares against")
 		out       = fs.String("out", "validator.gob", "output validator path")
 		tf        = addTelemetryFlags(fs)
 	)
@@ -135,7 +136,7 @@ func runFit(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features, Workers: *workers, Telemetry: reg}
+	cfg := core.Config{Nu: *nu, MaxPerClass: *perClass, MaxFeatures: *features, Workers: *workers, Telemetry: reg, SkipDriftSnapshot: !*drift}
 	cfg.Layers, err = parseLayers(*layers, net)
 	if err != nil {
 		return err
@@ -151,6 +152,11 @@ func runFit(args []string) error {
 		total += len(row)
 	}
 	fmt.Printf("fitted %d one-class SVMs over %d layers\n", total, len(val.LayerIdx))
+	if val.HasDriftReference() {
+		fmt.Println("drift reference: persisted (dvserve will watch live discrepancies against it)")
+	} else {
+		fmt.Println("drift reference: none (drift watch will be disabled)")
+	}
 	if err := val.Save(*out); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/nn"
@@ -275,6 +276,145 @@ func (d *Detector) Check(img Image) (Verdict, error) {
 		Valid:       v.Valid,
 		Quarantined: v.Quarantined,
 	}, nil
+}
+
+// Detail receives the per-layer diagnostics of one checked image — the
+// paper's d_i = −t(f_i(x)) per validated layer, the quantity the joint
+// Discrepancy collapses. Set Timed before the call to also collect
+// stage durations (one extra clock read per stage); leave it false and
+// the check pays no timing cost.
+type Detail struct {
+	// Layers lists the validated tap indices; PerLayer[i] is d_i for
+	// Layers[i]. Layers aliases the detector's internal slice — treat
+	// it as read-only. PerLayer may carry NaN/±Inf on a quarantined
+	// verdict; sanitize before JSON-encoding.
+	Layers   []int
+	PerLayer []float64
+	// Timed requests stage timings: Forward is the tapped forward pass,
+	// LayerTimes[i] the SVM scoring of Layers[i].
+	Timed      bool
+	Forward    time.Duration
+	LayerTimes []time.Duration
+}
+
+// fill populates the output fields from a scoring result.
+func (dt *Detail) fill(layers []int, res core.Result, tm *core.ScoreTimings) {
+	dt.Layers = layers
+	dt.PerLayer = res.Layer
+	if tm != nil {
+		dt.Forward = tm.Forward
+		dt.LayerTimes = tm.Layers
+	}
+}
+
+// CheckDetailed is Check with per-layer diagnostics: a non-nil out is
+// filled with the per-layer discrepancies (and, when out.Timed, stage
+// durations). The verdict — and every statistic and telemetry update —
+// is bit-identical to Check; a nil out is exactly Check.
+func (d *Detector) CheckDetailed(img Image, out *Detail) (Verdict, error) {
+	if out == nil {
+		return d.Check(img)
+	}
+	x, err := tensorOf(img)
+	if err != nil {
+		d.countInvalid()
+		return Verdict{}, err
+	}
+	if err := d.net.CheckInput(x); err != nil {
+		d.countInvalid()
+		return Verdict{}, err
+	}
+	var tm *core.ScoreTimings
+	if out.Timed {
+		tm = &core.ScoreTimings{}
+	}
+	v, res := d.mon.CheckDetailed(x, tm)
+	out.fill(d.val.LayerIdx, res, tm)
+	return Verdict{
+		Label:       v.Label,
+		Confidence:  v.Confidence,
+		Discrepancy: v.Discrepancy,
+		Valid:       v.Valid,
+		Quarantined: v.Quarantined,
+	}, nil
+}
+
+// CheckBatchDetailed is CheckBatch with per-image diagnostics: details
+// may be nil, shorter than imgs, or hold nil entries — only images
+// with a non-nil *Detail collect diagnostics, and only those with
+// Timed set pay for stage clock reads. Verdicts are bit-identical to
+// CheckBatch at every worker count.
+func (d *Detector) CheckBatchDetailed(imgs []Image, details []*Detail) ([]Verdict, error) {
+	xs := make([]*tensor.Tensor, len(imgs))
+	var firstErr error
+	for i, im := range imgs {
+		x, err := tensorOf(im)
+		if err == nil {
+			err = d.net.CheckInput(x)
+		}
+		if err != nil {
+			d.countInvalid()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("image %d: %w", i, err)
+			}
+			continue
+		}
+		xs[i] = x
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var tms []*core.ScoreTimings
+	for i := range details {
+		if i >= len(imgs) {
+			break
+		}
+		if details[i] != nil && details[i].Timed {
+			if tms == nil {
+				tms = make([]*core.ScoreTimings, len(imgs))
+			}
+			tms[i] = &core.ScoreTimings{}
+		}
+	}
+	verdicts, results := d.mon.CheckBatchDetailed(xs, tms)
+	out := make([]Verdict, len(verdicts))
+	for i, v := range verdicts {
+		out[i] = Verdict{
+			Label:       v.Label,
+			Confidence:  v.Confidence,
+			Discrepancy: v.Discrepancy,
+			Valid:       v.Valid,
+			Quarantined: v.Quarantined,
+		}
+		if i < len(details) && details[i] != nil {
+			var tm *core.ScoreTimings
+			if tms != nil {
+				tm = tms[i]
+			}
+			details[i].fill(d.val.LayerIdx, results[i], tm)
+		}
+	}
+	return out, nil
+}
+
+// DriftReference returns the fit-time drift reference persisted in the
+// validator: the validated tap indices, the quantile probabilities,
+// and per-layer reference quantiles (quantiles[i][j] is the probs[j]
+// quantile of layer layers[i]'s training discrepancies). ok is false —
+// and every slice nil — for detectors whose validator predates the
+// reference (legacy artifacts) or was fitted without it; drift
+// watching then degrades to disabled. The returned slices are copies.
+func (d *Detector) DriftReference() (layers []int, probs []float64, quantiles [][]float64, ok bool) {
+	if !d.val.HasDriftReference() {
+		return nil, nil, nil, false
+	}
+	layers = append([]int(nil), d.val.LayerIdx...)
+	probs = append([]float64(nil), d.val.DriftProbs...)
+	quantiles = make([][]float64, len(d.val.DriftQuantiles))
+	for i, row := range d.val.DriftQuantiles {
+		quantiles[i] = append([]float64(nil), row...)
+	}
+	return layers, probs, quantiles, true
 }
 
 // SetWorkers bounds the worker pool CheckBatch and Calibrate use

@@ -166,6 +166,30 @@ func TestGoldenArtifacts(t *testing.T) {
 		math.Float64bits(vs[0].Discrepancy) != math.Float64bits(v.Discrepancy) {
 		t.Fatalf("CheckBatch verdict %+v differs from Check %+v on the golden probe", vs[0], v)
 	}
+
+	// The observability path scores through CheckDetailed — the verdict
+	// must still be the recorded bits, with the per-layer breakdown
+	// riding along (this is what /v1/check serves whether or not
+	// tracing, explain, or the flight recorder are on).
+	var detail Detail
+	dv, err := det.CheckDetailed(goldenProbe(), &detail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Label != rec.Label ||
+		math.Float64bits(dv.Confidence) != math.Float64bits(v.Confidence) ||
+		math.Float64bits(dv.Discrepancy) != math.Float64bits(v.Discrepancy) {
+		t.Fatalf("CheckDetailed verdict %+v differs from Check %+v on the golden probe", dv, v)
+	}
+	if len(detail.Layers) == 0 || len(detail.PerLayer) != len(detail.Layers) {
+		t.Fatalf("CheckDetailed detail %+v lacks the per-layer breakdown", detail)
+	}
+
+	// The committed artifacts predate the drift reference; they must
+	// load as drift-disabled — never error, never fabricate a reference.
+	if _, _, _, ok := det.DriftReference(); ok {
+		t.Fatal("legacy golden artifacts unexpectedly carry a drift reference")
+	}
 }
 
 // writeLegacyGolden persists the golden pair as bare gob — the
@@ -241,6 +265,12 @@ func TestGoldenContainerArtifacts(t *testing.T) {
 		math.Float64bits(lv.Discrepancy) != math.Float64bits(v.Discrepancy) ||
 		lv.Label != v.Label || lv.Valid != v.Valid {
 		t.Fatalf("legacy verdict %+v differs from container verdict %+v", lv, v)
+	}
+
+	// Both committed formats predate the drift reference and must
+	// degrade to drift-disabled identically.
+	if _, _, _, ok := det.DriftReference(); ok {
+		t.Fatal("committed container artifacts unexpectedly carry a drift reference")
 	}
 
 	// A container golden must actually be a container (and the legacy

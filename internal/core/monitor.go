@@ -171,12 +171,21 @@ func (m *Monitor) record(label int, valid bool) {
 
 // Check classifies x and validates the prediction.
 func (m *Monitor) Check(x *tensor.Tensor) Verdict {
+	v, _ := m.CheckDetailed(x, nil)
+	return v
+}
+
+// CheckDetailed is Check returning the underlying scoring Result too —
+// the per-layer discrepancies the Verdict's joint score collapses —
+// plus optional stage timing into tm (nil adds no clock reads). The
+// verdict and all statistics updates are identical to Check.
+func (m *Monitor) CheckDetailed(x *tensor.Tensor, tm *ScoreTimings) (Verdict, Result) {
 	tel := m.tel.Load()
 	var t0 time.Time
 	if tel != nil {
 		t0 = time.Now()
 	}
-	res := m.val.Score(m.net, x)
+	res := m.val.ScoreTimed(m.net, x, tm)
 	m.mu.Lock()
 	valid := !res.NonFinite && res.Joint < m.epsilon
 	m.record(res.Label, valid)
@@ -191,7 +200,7 @@ func (m *Monitor) Check(x *tensor.Tensor) Verdict {
 		Discrepancy: res.Joint,
 		Valid:       valid,
 		Quarantined: res.NonFinite,
-	}
+	}, res
 }
 
 // CheckBatch classifies and validates many samples, returning verdicts
@@ -203,12 +212,21 @@ func (m *Monitor) Check(x *tensor.Tensor) Verdict {
 // MetricVerdictLatency; per-sample score latency comes from the
 // validator's own MetricScoreLatency histogram.
 func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
+	out, _ := m.CheckBatchDetailed(xs, nil)
+	return out
+}
+
+// CheckBatchDetailed is CheckBatch returning the underlying scoring
+// Results as well, with optional per-sample stage timing (tms may be
+// nil, short, or hold nil entries). Verdicts and statistics updates
+// are identical to CheckBatch at every worker count.
+func (m *Monitor) CheckBatchDetailed(xs []*tensor.Tensor, tms []*ScoreTimings) ([]Verdict, []Result) {
 	tel := m.tel.Load()
 	var t0 time.Time
 	if tel != nil {
 		t0 = time.Now()
 	}
-	results := m.val.ScoreBatchWorkers(m.net, xs, m.Workers())
+	results := m.val.ScoreBatchTimedWorkers(m.net, xs, tms, m.Workers())
 	out := make([]Verdict, len(results))
 	m.mu.Lock()
 	for i, res := range results {
@@ -230,7 +248,7 @@ func (m *Monitor) CheckBatch(xs []*tensor.Tensor) []Verdict {
 			tel.observe(v.Label, v.Valid, v.Quarantined)
 		}
 	}
-	return out
+	return out, results
 }
 
 // Stats reports lifetime counts and the alarm rate over the most recent

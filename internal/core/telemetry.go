@@ -56,6 +56,10 @@ const (
 	MetricFitSVM      = "dv_fit_svm_fit_seconds"
 	MetricFitSamples  = "dv_fit_samples_total"
 	MetricFitKept     = "dv_fit_kept_total"
+	// MetricFitDrift times the fit-time drift-reference snapshot (the
+	// per-layer discrepancy quantiles the serving drift watch compares
+	// against).
+	MetricFitDrift = "dv_fit_drift_seconds"
 )
 
 // DiscrepancyBuckets cover the per-layer and joint discrepancy range:

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"deepvalidation/internal/artifact"
+	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/nn"
 	"deepvalidation/internal/svm"
 	"deepvalidation/internal/telemetry"
@@ -44,6 +45,10 @@ type Config struct {
 	Layers []int
 	// Workers bounds the concurrent SVM fits (default GOMAXPROCS).
 	Workers int
+	// SkipDriftSnapshot disables the fit-time drift reference (the
+	// per-layer discrepancy quantiles persisted into the Validator for
+	// the serving drift watch). The zero value records it.
+	SkipDriftSnapshot bool
 	// Telemetry, when non-nil, receives per-stage fit timings (tap
 	// collection, per-sample forward/reduce, per-(layer, class) SVM
 	// fits) and sample counters. Nil adds no overhead.
@@ -87,6 +92,15 @@ type Validator struct {
 	// when FitNormalization has run; see NormalizedJoint.
 	NormMean []float64
 	NormStd  []float64
+	// DriftProbs/DriftQuantiles are the fit-time drift reference:
+	// DriftQuantiles[p][j] is the DriftProbs[j] quantile of the
+	// discrepancy d over the layer LayerIdx[p] SVMs' own training
+	// points. The serving drift watch compares live traffic against
+	// these. Both are nil on validators fitted before this field
+	// existed (legacy artifacts) or with SkipDriftSnapshot — drift
+	// watching then degrades to disabled.
+	DriftProbs     []float64
+	DriftQuantiles [][]float64
 
 	// tel holds the attached telemetry handles (nil when detached).
 	// Unexported, so gob round-trips skip it; re-attach after Load.
@@ -309,8 +323,66 @@ func Fit(net *nn.Network, trainX []*tensor.Tensor, trainY []int, cfg Config) (*V
 			return nil, err
 		}
 	}
+
+	if !cfg.SkipDriftSnapshot {
+		driftSpan := telemetry.StartSpan(reg.Histogram(MetricFitDrift, telemetry.DefLatencyBuckets))
+		v.snapshotDrift(feats, byClass, workers)
+		driftSpan.End()
+	}
 	totalSpan.End()
 	return v, nil
+}
+
+// DefaultDriftProbs are the quantile probabilities of the fit-time
+// drift reference. Five probabilities spanning the tails and the body
+// keep the persisted reference tiny while still catching both location
+// and spread shifts.
+var DefaultDriftProbs = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+
+// snapshotDrift records the per-layer discrepancy quantiles over the
+// SVMs' own training points — exactly the d_i = −t(f_i(x)) a correctly
+// classified in-distribution sample produces at serve time, because
+// for these samples the predicted class is the true class. The sample
+// order is fixed (class-major over the deterministic subsample) and
+// the values are sorted before taking exact quantiles, so the
+// reference is bit-identical at any worker count.
+func (v *Validator) snapshotDrift(feats [][][]float64, byClass [][]int, workers int) {
+	quantiles := make([][]float64, len(v.LayerIdx))
+	ok := true
+	var mu sync.Mutex
+	forEachIndex(len(v.LayerIdx), workers, func(p int) {
+		ds := make([]float64, 0, 64)
+		for k := range byClass {
+			for _, i := range byClass[k] {
+				if d := -v.SVMs[p][k].Decision(feats[p][i]); finite(d) {
+					ds = append(ds, d)
+				}
+			}
+		}
+		if len(ds) == 0 {
+			mu.Lock()
+			ok = false
+			mu.Unlock()
+			return
+		}
+		sort.Float64s(ds)
+		quantiles[p] = metrics.QuantilesSorted(ds, DefaultDriftProbs)
+	})
+	if !ok {
+		// A layer produced no finite discrepancies at all — leave the
+		// reference absent rather than persisting NaNs.
+		return
+	}
+	v.DriftProbs = append([]float64(nil), DefaultDriftProbs...)
+	v.DriftQuantiles = quantiles
+}
+
+// HasDriftReference reports whether the validator carries a fit-time
+// drift reference (false for legacy artifacts and SkipDriftSnapshot
+// fits).
+func (v *Validator) HasDriftReference() bool {
+	return len(v.DriftQuantiles) == len(v.LayerIdx) && len(v.DriftQuantiles) > 0 &&
+		len(v.DriftProbs) >= 2
 }
 
 // stride subsamples idx down to at most max entries with an even
@@ -363,15 +435,27 @@ func pooledScaleGamma(rows [][]float64) float64 {
 // copied by assignment; it embeds an atomic telemetry slot.
 func (v *Validator) Clone() *Validator {
 	return &Validator{
-		ModelName: v.ModelName,
-		Classes:   v.Classes,
-		LayerIdx:  v.LayerIdx,
-		Reducers:  v.Reducers,
-		SVMs:      v.SVMs,
-		Nu:        v.Nu,
-		NormMean:  v.NormMean,
-		NormStd:   v.NormStd,
+		ModelName:      v.ModelName,
+		Classes:        v.Classes,
+		LayerIdx:       v.LayerIdx,
+		Reducers:       v.Reducers,
+		SVMs:           v.SVMs,
+		Nu:             v.Nu,
+		NormMean:       v.NormMean,
+		NormStd:        v.NormStd,
+		DriftProbs:     v.DriftProbs,
+		DriftQuantiles: v.DriftQuantiles,
 	}
+}
+
+// ScoreTimings receives the stage timings of one ScoreTimed call:
+// the tapped forward pass and each per-layer SVM evaluation (indexed
+// like LayerIdx). It exists for the serving trace spans; passing nil
+// keeps scoring free of clock reads beyond what telemetry already
+// takes.
+type ScoreTimings struct {
+	Forward time.Duration
+	Layers  []time.Duration
 }
 
 // Score runs Algorithm 2 on one sample: a single tapped forward pass,
@@ -380,12 +464,28 @@ func (v *Validator) Clone() *Validator {
 // latency and its per-layer and joint discrepancies; detached, the
 // only cost is one atomic pointer load.
 func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
+	return v.ScoreTimed(net, x, nil)
+}
+
+// ScoreTimed is Score with optional stage timing: a non-nil tm is
+// filled with the forward-pass and per-layer durations. The arithmetic
+// is byte-for-byte the same as Score — timing only adds clock reads —
+// so results are bit-identical with tm nil or not.
+func (v *Validator) ScoreTimed(net *nn.Network, x *tensor.Tensor, tm *ScoreTimings) Result {
 	tel := v.tel.Load()
 	var t0 time.Time
-	if tel != nil {
+	if tel != nil || tm != nil {
 		t0 = time.Now()
 	}
 	probs, taps := net.ForwardTapped(x)
+	if tm != nil {
+		tm.Forward = time.Since(t0)
+		if cap(tm.Layers) >= len(v.LayerIdx) {
+			tm.Layers = tm.Layers[:len(v.LayerIdx)]
+		} else {
+			tm.Layers = make([]time.Duration, len(v.LayerIdx))
+		}
+	}
 	label := probs.ArgMax()
 	res := Result{
 		Label:      label,
@@ -398,8 +498,15 @@ func (v *Validator) Score(net *nn.Network, x *tensor.Tensor) Result {
 		res.Confidence = 0
 		res.NonFinite = true
 	}
+	var lt time.Time
 	for p, l := range v.LayerIdx {
+		if tm != nil {
+			lt = time.Now()
+		}
 		d := -v.SVMs[p][label].Decision(v.Reducers[p].Reduce(taps[l]))
+		if tm != nil {
+			tm.Layers[p] = time.Since(lt)
+		}
 		res.Layer[p] = d
 		if !finite(d) {
 			res.NonFinite = true
@@ -448,9 +555,21 @@ func (v *Validator) ScoreBatch(net *nn.Network, xs []*tensor.Tensor) []Result {
 // runs sequentially on the calling goroutine. Every worker count yields
 // identical results.
 func (v *Validator) ScoreBatchWorkers(net *nn.Network, xs []*tensor.Tensor, workers int) []Result {
+	return v.ScoreBatchTimedWorkers(net, xs, nil, workers)
+}
+
+// ScoreBatchTimedWorkers is ScoreBatchWorkers with optional per-sample
+// stage timing: tms may be nil, shorter than xs, or hold nil entries —
+// only samples with a non-nil *ScoreTimings pay for clock reads. Used
+// by the serving path to time only the traced members of a batch.
+func (v *Validator) ScoreBatchTimedWorkers(net *nn.Network, xs []*tensor.Tensor, tms []*ScoreTimings, workers int) []Result {
 	out := make([]Result, len(xs))
 	forEachIndex(len(xs), workers, func(i int) {
-		out[i] = v.Score(net, xs[i])
+		var tm *ScoreTimings
+		if i < len(tms) {
+			tm = tms[i]
+		}
+		out[i] = v.ScoreTimed(net, xs[i], tm)
 	})
 	return out
 }
@@ -589,6 +708,35 @@ func (v *Validator) Validate() error {
 		}
 		if !finiteAll(s) {
 			return fmt.Errorf("core: validator for %q carries non-finite normalization statistics", v.ModelName)
+		}
+	}
+	// The drift reference is optional (legacy artifacts gob-decode with
+	// both fields nil), but when present it must be shaped and finite —
+	// a corrupted reference must fail the load, not poison drift scores.
+	if len(v.DriftProbs) != 0 || len(v.DriftQuantiles) != 0 {
+		if len(v.DriftProbs) < 2 {
+			return fmt.Errorf("core: validator for %q has a drift reference with %d quantile probabilities (want >= 2)", v.ModelName, len(v.DriftProbs))
+		}
+		for j, q := range v.DriftProbs {
+			if !finite(q) || q < 0 || q > 1 || (j > 0 && v.DriftProbs[j-1] >= q) {
+				return fmt.Errorf("core: validator for %q has malformed drift probabilities %v", v.ModelName, v.DriftProbs)
+			}
+		}
+		if len(v.DriftQuantiles) != len(v.LayerIdx) {
+			return fmt.Errorf("core: validator for %q has %d drift quantile rows for %d layers", v.ModelName, len(v.DriftQuantiles), len(v.LayerIdx))
+		}
+		for p, row := range v.DriftQuantiles {
+			if len(row) != len(v.DriftProbs) {
+				return fmt.Errorf("core: validator for %q has %d drift quantiles at layer %d for %d probabilities", v.ModelName, len(row), v.LayerIdx[p], len(v.DriftProbs))
+			}
+			if !finiteAll(row) {
+				return fmt.Errorf("core: validator for %q carries non-finite drift quantiles at layer %d", v.ModelName, v.LayerIdx[p])
+			}
+			for j := 1; j < len(row); j++ {
+				if row[j-1] > row[j] {
+					return fmt.Errorf("core: validator for %q has non-monotone drift quantiles at layer %d", v.ModelName, v.LayerIdx[p])
+				}
+			}
 		}
 	}
 	return nil

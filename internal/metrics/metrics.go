@@ -219,6 +219,45 @@ func Normalize(scores []float64) []float64 {
 	return out
 }
 
+// QuantilesSorted returns the exact sample quantiles of sorted (which
+// must be ascending) at the given probabilities, using linear
+// interpolation between closest ranks (the R-7 / numpy default). It is
+// deterministic — the same data and probs always yield the same bits —
+// which is what lets fit-time reference sketches and serve-time live
+// sketches be compared exactly. Probabilities clamp to [0, 1]; an empty
+// sample yields NaNs.
+func QuantilesSorted(sorted []float64, probs []float64) []float64 {
+	out := make([]float64, len(probs))
+	n := len(sorted)
+	if n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i, q := range probs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		pos := q * float64(n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if hi >= n {
+			hi = n - 1
+		}
+		if lo == hi {
+			out[i] = sorted[lo]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = sorted[lo] + (sorted[hi]-sorted[lo])*frac
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

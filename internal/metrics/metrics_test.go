@@ -282,3 +282,47 @@ func TestAUCWithCI(t *testing.T) {
 		t.Fatal("empty positives should give NaN bounds")
 	}
 }
+
+func TestQuantilesSorted(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	got := QuantilesSorted(data, []float64{0, 0.25, 0.5, 0.75, 1})
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("q[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Interpolation between ranks (R-7): median of {1,2,3,4} is 2.5.
+	got = QuantilesSorted([]float64{1, 2, 3, 4}, []float64{0.5})
+	if got[0] != 2.5 {
+		t.Fatalf("median of 1..4 = %v, want 2.5", got[0])
+	}
+
+	// Single element: every quantile is that element.
+	got = QuantilesSorted([]float64{7}, []float64{0, 0.5, 1})
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("singleton quantiles = %v, want all 7", got)
+		}
+	}
+
+	// Empty sample yields NaNs; probs clamp to [0,1].
+	got = QuantilesSorted(nil, []float64{0.5})
+	if !math.IsNaN(got[0]) {
+		t.Fatalf("empty sample quantile = %v, want NaN", got[0])
+	}
+	got = QuantilesSorted([]float64{1, 2}, []float64{-3, 9})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("clamped quantiles = %v, want [1 2]", got)
+	}
+
+	// Determinism: identical inputs give identical bits.
+	a := QuantilesSorted(data, []float64{0.05, 0.25, 0.5, 0.75, 0.95})
+	b := QuantilesSorted(data, []float64{0.05, 0.25, 0.5, 0.75, 0.95})
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("quantiles not bit-deterministic at %d: %x vs %x", i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+}

@@ -6,21 +6,38 @@ import (
 
 	"deepvalidation"
 	"deepvalidation/internal/faultinject"
+	"deepvalidation/internal/trace"
 )
 
-// result is the batcher's answer to one admitted request.
+// result is the batcher's answer to one admitted request. d is the
+// per-layer detail, present only when this request (or the server's
+// flight recorder / drift watch) asked for it.
 type result struct {
 	v   deepvalidation.Verdict
 	err error
+	d   *deepvalidation.Detail
+}
+
+// reqTrace carries one traced request's stage timestamps through the
+// batcher. The handler writes id/t0/enq before enqueueing; the batcher
+// goroutine writes deq/scoreStart/scoreEnd; the handler reads them only
+// after receiving on done (the channel receive is the happens-before
+// edge), and never on the deadline path.
+type reqTrace struct {
+	id                   string
+	t0, enq, deq         time.Time
+	scoreStart, scoreEnd time.Time
 }
 
 // pending is one admitted request waiting for a verdict. done is
 // buffered so a batch worker never blocks delivering to a handler that
 // already gave up (deadline expiry between scoring and delivery).
 type pending struct {
-	img  deepvalidation.Image
-	ctx  context.Context
-	done chan result
+	img     deepvalidation.Image
+	ctx     context.Context
+	done    chan result
+	explain bool      // caller asked for per-layer discrepancies
+	tr      *reqTrace // non-nil when this request is traced
 }
 
 // tryEnqueue admits the requests all-or-nothing. The atomic depth
@@ -41,10 +58,14 @@ func (s *Server) tryEnqueue(ps ...*pending) bool {
 	return true
 }
 
-// dequeued accounts one request leaving the queue.
-func (s *Server) dequeued() {
+// dequeued accounts one request leaving the queue and stamps its
+// dequeue time when traced.
+func (s *Server) dequeued(p *pending) {
 	s.queueDepth.Set(float64(s.depth.Add(-1)))
 	s.pulls.Add(1)
+	if p.tr != nil {
+		p.tr.deq = time.Now()
+	}
 }
 
 // runBatcher is the collection loop: pull the first waiting request,
@@ -59,7 +80,7 @@ func (s *Server) runBatcher() {
 			s.flush()
 			return
 		case first := <-s.queue:
-			s.dequeued()
+			s.dequeued(first)
 			s.dispatch(s.collect(first))
 		}
 	}
@@ -81,7 +102,7 @@ func (s *Server) collect(first *pending) []*pending {
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case p := <-s.queue:
-			s.dequeued()
+			s.dequeued(p)
 			batch = append(batch, p)
 		case <-timer.C:
 			return batch
@@ -98,7 +119,7 @@ func (s *Server) sweep(batch []*pending) []*pending {
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case p := <-s.queue:
-			s.dequeued()
+			s.dequeued(p)
 			batch = append(batch, p)
 		default:
 			return batch
@@ -126,7 +147,7 @@ func (s *Server) flush() {
 	for {
 		select {
 		case p := <-s.queue:
-			s.dequeued()
+			s.dequeued(p)
 			s.dispatch(s.sweep([]*pending{p}))
 		default:
 			return
@@ -140,6 +161,11 @@ func (s *Server) flush() {
 // sequential Check calls; if the batch as a whole is rejected (e.g. an
 // input geometry change racing a hot reload), members are re-scored
 // singly so one poisoned request cannot fail its batch-mates.
+//
+// Per-layer detail is computed only when something will consume it —
+// the flight recorder, the drift watch, an explain=1 request, or a
+// traced request (which additionally gets stage timings). With all of
+// those off, the path is exactly the pre-observability CheckBatch.
 func (s *Server) runBatch(batch []*pending) {
 	live := make([]*pending, 0, len(batch))
 	imgs := make([]deepvalidation.Image, 0, len(batch))
@@ -153,19 +179,79 @@ func (s *Server) runBatch(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	drift := s.drift.Load()
+	needDetail := s.flight != nil || drift != nil
+	for _, p := range live {
+		if p.explain || p.tr != nil {
+			needDetail = true
+			break
+		}
+	}
+	var details []*deepvalidation.Detail
+	if needDetail {
+		details = make([]*deepvalidation.Detail, len(live))
+		for i, p := range live {
+			details[i] = &deepvalidation.Detail{Timed: p.tr != nil}
+		}
+	}
 	det := s.handle.Get()
-	vs, err := det.CheckBatch(imgs)
+	now := time.Now()
+	for _, p := range live {
+		if p.tr != nil {
+			p.tr.scoreStart = now
+		}
+	}
+	vs, err := det.CheckBatchDetailed(imgs, details)
 	if ferr := faultinject.Check(faultinject.PointServeBatch); ferr != nil {
 		err = ferr // chaos seam: force the per-request fallback path
 	}
+	end := time.Now()
+	for _, p := range live {
+		if p.tr != nil {
+			p.tr.scoreEnd = end
+		}
+	}
 	if err == nil {
 		for i, p := range live {
-			p.done <- result{v: vs[i]}
+			var d *deepvalidation.Detail
+			if details != nil {
+				d = details[i]
+				s.observeDrift(drift, vs[i], d)
+			}
+			p.done <- result{v: vs[i], d: d}
 		}
 		return
 	}
 	for _, p := range live {
-		v, cerr := det.Check(p.img)
-		p.done <- result{v: v, err: cerr}
+		var d *deepvalidation.Detail
+		if needDetail {
+			d = &deepvalidation.Detail{Timed: p.tr != nil}
+		}
+		if p.tr != nil {
+			p.tr.scoreStart = time.Now()
+		}
+		v, cerr := det.CheckDetailed(p.img, d)
+		if p.tr != nil {
+			p.tr.scoreEnd = time.Now()
+		}
+		if cerr == nil && d != nil {
+			s.observeDrift(drift, v, d)
+		}
+		p.done <- result{v: v, err: cerr, d: d}
 	}
+}
+
+// observeDrift feeds one verdict's per-layer discrepancies to the drift
+// watch. Only accepted (Valid) verdicts enter the window: the fit-time
+// reference is built from correctly classified training samples, so the
+// comparable serve-time population is the traffic the detector accepts.
+// Flagged corner cases score against the wrong-class SVM with huge d_i
+// and would swamp the tail quantiles (sustained flagging is already
+// watched by the alarm-rate stats); quarantined verdicts carry no
+// distributional information at all.
+func (s *Server) observeDrift(drift *trace.DriftWatch, v deepvalidation.Verdict, d *deepvalidation.Detail) {
+	if drift == nil || !v.Valid {
+		return
+	}
+	drift.Observe(d.PerLayer)
 }

@@ -17,10 +17,12 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
+	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/telemetry"
 )
 
@@ -189,5 +191,173 @@ func TestBenchServeSnapshot(t *testing.T) {
 	if runtime.GOMAXPROCS(0) >= 4 && speedup < 1 {
 		t.Errorf("micro-batched throughput %.2fx below unbatched on a %d-way host",
 			speedup, runtime.GOMAXPROCS(0))
+	}
+}
+
+type traceBenchEntry struct {
+	TraceSample float64 `json:"trace_sample"`
+	Requests    int     `json:"requests"`
+	Clients     int     `json:"clients"`
+	RPS         float64 `json:"requests_per_second"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// serveLatencies drives concurrent check requests through a fresh
+// server and reports per-request latency percentiles plus RPS.
+func serveLatencies(t *testing.T, cfg Config, clients, perClient int) (p50ms, p99ms, rps float64) {
+	t.Helper()
+	_, ts := newTestServer(t, cfg)
+	imgs, _ := testImages(77, 32)
+	bodies := make([][]byte, len(imgs))
+	for i, img := range imgs {
+		bodies[i] = checkBody(t, img)
+	}
+	client := ts.Client()
+
+	lats := make([][]float64, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats[c] = make([]float64, 0, perClient)
+			for j := 0; j < perClient; j++ {
+				body := bodies[(c*31+j*7)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lats[c] = append(lats[c], time.Since(t0).Seconds())
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d request %d: status %d", c, j, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	qs := metrics.QuantilesSorted(all, []float64{0.5, 0.99})
+	return qs[0] * 1e3, qs[1] * 1e3, float64(len(all)) / elapsed.Seconds()
+}
+
+// TestBenchTraceSnapshot records the serve-path latency cost of
+// per-verdict tracing (p50/p99 at -trace-sample 0, 0.1, and 1.0 under
+// the dvserve default flight+drift config) into BENCH_pipeline.json
+// under a "tracing" key, and guards the hot path: with tracing fully
+// disabled, the batch-scoring call the server actually makes
+// (CheckBatchDetailed with no detail sinks) must stay within 3% of the
+// plain CheckBatch it replaced.
+func TestBenchTraceSnapshot(t *testing.T) {
+	if os.Getenv("DV_BENCH_SNAPSHOT") == "" {
+		t.Skip("set DV_BENCH_SNAPSHOT=1 to refresh BENCH_pipeline.json")
+	}
+
+	clients := 8 * runtime.GOMAXPROCS(0)
+	if clients < 64 {
+		clients = 64
+	}
+	perClient := 50
+	entries := make([]traceBenchEntry, 0, 3)
+	for _, sample := range []float64{0, 0.1, 1.0} {
+		cfg := Config{
+			MaxBatch:    32,
+			BatchWindow: 2 * time.Millisecond,
+			QueueDepth:  4096,
+			Workers:     2,
+			Registry:    telemetry.New(),
+			TraceSample: sample,
+		}
+		p50, p99, rps := serveLatencies(t, cfg, clients, perClient)
+		entries = append(entries, traceBenchEntry{
+			TraceSample: sample,
+			Requests:    clients * perClient,
+			Clients:     clients,
+			RPS:         rps,
+			P50Ms:       p50,
+			P99Ms:       p99,
+		})
+		t.Logf("trace_sample=%-4g: %8.1f req/s, p50 %.2fms, p99 %.2fms", sample, rps, p50, p99)
+	}
+
+	// Hot-path guard: the serving batcher with every observability sink
+	// off calls CheckBatchDetailed(imgs, nil); it must not cost more
+	// than 3% over plain CheckBatch. Min-of-runs on both sides to shed
+	// scheduler noise.
+	det := loadDetector(t)
+	imgs, _ := testImages(99, 256)
+	warm := func(f func() error) {
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeMin := func(f func() error) float64 {
+		best := 0.0
+		for r := 0; r < 5; r++ {
+			t0 := time.Now()
+			warm(f)
+			if d := time.Since(t0).Seconds(); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	checkBatch := func() error { _, err := det.CheckBatch(imgs); return err }
+	detailedNil := func() error { _, err := det.CheckBatchDetailed(imgs, nil); return err }
+	warm(checkBatch)
+	warm(detailedNil)
+	base := timeMin(checkBatch)
+	instrumented := timeMin(detailedNil)
+	overheadPct := (instrumented - base) / base * 100
+	t.Logf("ScoreBatch hot path: CheckBatch %.1fms, CheckBatchDetailed(nil) %.1fms, overhead %.2f%%",
+		base*1e3, instrumented*1e3, overheadPct)
+	if overheadPct >= 3 {
+		t.Errorf("tracing-disabled ScoreBatch overhead %.2f%% (want < 3%%)", overheadPct)
+	}
+
+	raw, err := os.ReadFile(benchSnapshotPath)
+	if err != nil {
+		t.Fatalf("pipeline snapshot must exist before the tracing merge (run it first, as `make snapshot` does): %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	tracing, err := json.Marshal(struct {
+		Note        string            `json:"note"`
+		Benchmarks  []traceBenchEntry `json:"benchmarks"`
+		OverheadPct float64           `json:"scorebatch_overhead_pct_tracing_disabled"`
+	}{
+		"per-verdict tracing cost on the serve path (dvserve default flight+drift config); " +
+			"the overhead figure is the detector-level batch-scoring delta with every sink disabled, guarded < 3%",
+		entries, overheadPct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["tracing"] = tracing
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchSnapshotPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

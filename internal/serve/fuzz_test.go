@@ -26,16 +26,19 @@ func FuzzCheckRequest(f *testing.F) {
 	f.Add([]byte(`{"images":[]}`))
 	f.Add([]byte(`{"images":null}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		img, err := decodeCheckRequest(data)
+		img, _, err := decodeCheckRequest(data)
 		if err == nil {
 			if verr := img.Validate(); verr != nil {
 				t.Fatalf("decodeCheckRequest accepted an image Validate rejects: %v", verr)
 			}
 		}
-		imgs, err := decodeBatchRequest(data)
+		imgs, explains, err := decodeBatchRequest(data)
 		if err == nil {
 			if len(imgs) == 0 {
 				t.Fatal("decodeBatchRequest accepted an empty batch")
+			}
+			if len(explains) != len(imgs) {
+				t.Fatalf("decodeBatchRequest returned %d explain flags for %d images", len(explains), len(imgs))
 			}
 			for i, im := range imgs {
 				if verr := im.Validate(); verr != nil {

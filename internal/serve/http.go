@@ -10,18 +10,24 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"deepvalidation"
 	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/trace"
 )
 
 // CheckRequest is the body of POST /v1/check: one image, flattened
-// channel-major with pixel values in [0, 1].
+// channel-major with pixel values in [0, 1]. Explain (equivalently the
+// ?explain=1 query) asks for the per-layer discrepancy breakdown in the
+// response.
 type CheckRequest struct {
 	Channels int       `json:"channels"`
 	Height   int       `json:"height"`
 	Width    int       `json:"width"`
 	Pixels   []float64 `json:"pixels"`
+	Explain  bool      `json:"explain,omitempty"`
 }
 
 // image converts the wire form to the public Image type.
@@ -29,20 +35,27 @@ func (r CheckRequest) image() deepvalidation.Image {
 	return deepvalidation.Image{Channels: r.Channels, Height: r.Height, Width: r.Width, Pixels: r.Pixels}
 }
 
-// BatchRequest is the body of POST /v1/batch.
+// BatchRequest is the body of POST /v1/batch. Explain applies to every
+// image; individual images can also set their own Explain flag.
 type BatchRequest struct {
-	Images []CheckRequest `json:"images"`
+	Images  []CheckRequest `json:"images"`
+	Explain bool           `json:"explain,omitempty"`
 }
 
 // VerdictResponse is the wire form of one verdict. Quarantined is
 // omitted on the (overwhelmingly common) finite path, so healthy
 // responses are byte-identical to the pre-quarantine wire format.
+// PerLayer — present only when the request asked to explain — maps
+// validated layer index to its discrepancy d_i; it is omitted for
+// quarantined verdicts, whose d_i may be non-finite (unrepresentable in
+// JSON).
 type VerdictResponse struct {
-	Label       int     `json:"label"`
-	Confidence  float64 `json:"confidence"`
-	Discrepancy float64 `json:"discrepancy"`
-	Valid       bool    `json:"valid"`
-	Quarantined bool    `json:"quarantined,omitempty"`
+	Label       int             `json:"label"`
+	Confidence  float64         `json:"confidence"`
+	Discrepancy float64         `json:"discrepancy"`
+	Valid       bool            `json:"valid"`
+	Quarantined bool            `json:"quarantined,omitempty"`
+	PerLayer    map[int]float64 `json:"per_layer,omitempty"`
 }
 
 // BatchResponse answers POST /v1/batch with verdicts in input order.
@@ -68,57 +81,75 @@ func verdictResponse(v deepvalidation.Verdict) VerdictResponse {
 // decodeCheckRequest strictly parses one check-request body: unknown
 // fields, trailing garbage, and images that fail Validate are all
 // rejected. JSON cannot carry NaN/Inf literals, so accepted pixel
-// values are always finite — Validate enforces it regardless.
-func decodeCheckRequest(data []byte) (deepvalidation.Image, error) {
+// values are always finite — Validate enforces it regardless. The
+// boolean is the request's Explain flag.
+func decodeCheckRequest(data []byte) (deepvalidation.Image, bool, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var req CheckRequest
 	if err := dec.Decode(&req); err != nil {
-		return deepvalidation.Image{}, fmt.Errorf("decoding check request: %w", err)
+		return deepvalidation.Image{}, false, fmt.Errorf("decoding check request: %w", err)
 	}
 	if dec.More() {
-		return deepvalidation.Image{}, errors.New("decoding check request: trailing data after JSON object")
+		return deepvalidation.Image{}, false, errors.New("decoding check request: trailing data after JSON object")
 	}
 	img := req.image()
 	if err := img.Validate(); err != nil {
-		return deepvalidation.Image{}, err
+		return deepvalidation.Image{}, false, err
 	}
-	return img, nil
+	return img, req.Explain, nil
 }
 
 // decodeBatchRequest strictly parses a batch-request body, validating
-// every member image.
-func decodeBatchRequest(data []byte) ([]deepvalidation.Image, error) {
+// every member image. explains[i] is image i's effective Explain flag
+// (its own, or the batch-level one).
+func decodeBatchRequest(data []byte) ([]deepvalidation.Image, []bool, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var req BatchRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("decoding batch request: %w", err)
+		return nil, nil, fmt.Errorf("decoding batch request: %w", err)
 	}
 	if dec.More() {
-		return nil, errors.New("decoding batch request: trailing data after JSON object")
+		return nil, nil, errors.New("decoding batch request: trailing data after JSON object")
 	}
 	if len(req.Images) == 0 {
-		return nil, errors.New("batch request carries no images")
+		return nil, nil, errors.New("batch request carries no images")
 	}
 	imgs := make([]deepvalidation.Image, len(req.Images))
+	explains := make([]bool, len(req.Images))
 	for i, r := range req.Images {
 		img := r.image()
 		if err := img.Validate(); err != nil {
-			return nil, fmt.Errorf("image %d: %w", i, err)
+			return nil, nil, fmt.Errorf("image %d: %w", i, err)
 		}
 		imgs[i] = img
+		explains[i] = req.Explain || r.Explain
 	}
-	return imgs, nil
+	return imgs, explains, nil
+}
+
+// queryExplain reports whether the request's query string asks for the
+// per-layer breakdown (?explain=1 or ?explain=true).
+func queryExplain(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
 }
 
 // Handler returns the server's routing table:
 //
-//	POST /v1/check   — validate one image
-//	POST /v1/batch   — validate many images, verdicts in input order
-//	POST /v1/reload  — hot-swap the detector via Config.Loader
-//	GET  /healthz    — process liveness
-//	GET  /readyz     — detector loaded, warmed, and not draining
+//	POST /v1/check            — validate one image
+//	POST /v1/batch            — validate many images, verdicts in input order
+//	POST /v1/reload           — hot-swap the detector via Config.Loader
+//	GET  /healthz             — process liveness
+//	GET  /readyz              — detector loaded, warmed, and not draining
+//	GET  /debug/dv/trace/{id} — one sampled verdict trace's span tree
+//	GET  /debug/dv/flight     — recent verdicts (?valid=, ?class=, ?outcome=, ?limit=)
+//	GET  /debug/dv/drift      — drift-watch status vs the fit-time reference
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", s.handleCheck)
@@ -126,6 +157,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/dv/trace/", s.handleTrace)
+	mux.HandleFunc("/debug/dv/flight", s.handleFlight)
+	mux.HandleFunc("/debug/dv/drift", s.handleDrift)
 	return mux
 }
 
@@ -194,6 +228,152 @@ func (s *Server) checkShape(img deepvalidation.Image) error {
 	return nil
 }
 
+// traceDecision resolves one request's trace identity: a validated
+// client X-DV-Trace-Id is always traced (the caller injected it to
+// follow this exact request); otherwise a generated ID is head-sampled
+// deterministically. With tracing off both returns are zero — no ID is
+// generated at all.
+func (s *Server) traceDecision(r *http.Request) (id string, traced bool) {
+	if s.sampler == nil {
+		return "", false
+	}
+	if hid, ok := trace.FromHeader(r.Header.Get(trace.HeaderTraceID)); ok {
+		return hid, true
+	}
+	id = trace.NewID()
+	return id, s.sampler.Sample(id)
+}
+
+// finiteSlice reports whether every value is representable in JSON.
+func finiteSlice(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// jsonSafe returns v as-is when finite, or its string form ("NaN",
+// "+Inf") otherwise, so span attributes always survive json.Marshal.
+func jsonSafe(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g", v)
+	}
+	return v
+}
+
+// perLayerMap builds the explain payload: validated layer index → d_i.
+// Nil when detail is absent or any d_i is non-finite (quarantined
+// verdicts; JSON cannot carry NaN).
+func perLayerMap(d *deepvalidation.Detail) map[int]float64 {
+	if d == nil || len(d.PerLayer) != len(d.Layers) || !finiteSlice(d.PerLayer) {
+		return nil
+	}
+	m := make(map[int]float64, len(d.PerLayer))
+	for i, v := range d.PerLayer {
+		m[d.Layers[i]] = v
+	}
+	return m
+}
+
+// recordVerdictFlight files one scored verdict with the flight
+// recorder. Per-layer discrepancies ride along when finite.
+func (s *Server) recordVerdictFlight(endpoint, id string, res result, end time.Time, lat time.Duration) {
+	if s.flight == nil {
+		return
+	}
+	e := trace.Entry{
+		TimeNs:     end.UnixNano(),
+		TraceID:    id,
+		Endpoint:   endpoint,
+		Outcome:    trace.OutcomeOK,
+		Label:      res.v.Label,
+		Confidence: res.v.Confidence,
+		Joint:      res.v.Discrepancy,
+		Valid:      res.v.Valid,
+		LatencySec: lat.Seconds(),
+	}
+	if res.v.Quarantined {
+		e.Outcome = trace.OutcomeQuarantined
+	}
+	if res.d != nil && len(res.d.PerLayer) == len(res.d.Layers) && finiteSlice(res.d.PerLayer) {
+		e.Layers = res.d.Layers
+		e.PerLayer = res.d.PerLayer
+	}
+	s.flight.Record(e)
+}
+
+// recordDropFlight files a request that never produced a verdict
+// (shed, deadline, scoring error).
+func (s *Server) recordDropFlight(endpoint, id, outcome string, lat time.Duration) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(trace.Entry{
+		TimeNs:     time.Now().UnixNano(),
+		TraceID:    id,
+		Endpoint:   endpoint,
+		Outcome:    outcome,
+		LatencySec: lat.Seconds(),
+	})
+}
+
+// storeTrace assembles and stores one traced request's span tree:
+//
+//	verdict
+//	├── admission   (handler: read, decode, shape check, enqueue)
+//	├── batch_wait  (queued, waiting for the micro-batcher)
+//	├── dispatch    (collected, waiting for a batch worker)
+//	└── score       (forward pass + per-layer SVM scoring)
+//	    ├── forward
+//	    └── svm_layer_{i} — with attribute d = d_i
+//
+// Must only be called after receiving on p.done: the batcher goroutine
+// writes the deq/score timestamps, and the channel receive is the
+// happens-before edge making them safe to read.
+func (s *Server) storeTrace(endpoint string, p *pending, res result, end time.Time) {
+	if p.tr == nil || s.traces == nil {
+		return
+	}
+	tr := p.tr
+	root := trace.NewSpan("verdict", tr.t0, end)
+	root.SetAttr("endpoint", endpoint)
+	if res.err != nil {
+		root.SetAttr("error", res.err.Error())
+	} else {
+		root.SetAttr("label", res.v.Label)
+		root.SetAttr("confidence", jsonSafe(res.v.Confidence))
+		root.SetAttr("joint_d", jsonSafe(res.v.Discrepancy))
+		root.SetAttr("valid", res.v.Valid)
+		if res.v.Quarantined {
+			root.SetAttr("quarantined", true)
+		}
+	}
+	root.AddChild(trace.NewSpan("admission", tr.t0, tr.enq))
+	root.AddChild(trace.NewSpan("batch_wait", tr.enq, tr.deq))
+	root.AddChild(trace.NewSpan("dispatch", tr.deq, tr.scoreStart))
+	score := root.AddChild(trace.NewSpan("score", tr.scoreStart, tr.scoreEnd))
+	if d := res.d; d != nil && d.Timed && len(d.LayerTimes) == len(d.Layers) {
+		// The batch scores as one unit, so per-item stage spans are
+		// synthesized from the measured stage durations, laid end to end
+		// from the batch's score start.
+		cur := tr.scoreStart
+		fwd := cur.Add(d.Forward)
+		score.AddChild(trace.NewSpan("forward", cur, fwd))
+		cur = fwd
+		for i, lt := range d.LayerTimes {
+			nxt := cur.Add(lt)
+			sp := score.AddChild(trace.NewSpan("svm_layer_"+strconv.Itoa(d.Layers[i]), cur, nxt))
+			if i < len(d.PerLayer) {
+				sp.SetAttr("d", jsonSafe(d.PerLayer[i]))
+			}
+			cur = nxt
+		}
+	}
+	s.traces.Add(&trace.Trace{ID: tr.id, Endpoint: endpoint, Root: root})
+}
+
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan(s.latCheck)
 	defer sp.End()
@@ -201,35 +381,54 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !s.admissible(w, r) {
 		return
 	}
+	t0 := time.Now()
+	id, traced := s.traceDecision(r)
+	if id != "" {
+		w.Header().Set(trace.HeaderTraceID, id)
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	img, err := decodeCheckRequest(body)
+	img, explain, err := decodeCheckRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	explain = explain || queryExplain(r)
 	if err := s.checkShape(img); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	p := &pending{img: img, ctx: ctx, done: make(chan result, 1)}
+	p := &pending{img: img, ctx: ctx, done: make(chan result, 1), explain: explain}
+	if traced {
+		p.tr = &reqTrace{id: id, t0: t0, enq: time.Now()}
+	}
 	if !s.tryEnqueue(p) {
+		s.recordDropFlight("check", id, trace.OutcomeShed, time.Since(t0))
 		s.shedResponse(w)
 		return
 	}
 	select {
 	case res := <-p.done:
+		end := time.Now()
+		s.storeTrace("check", p, res, end)
 		if res.err != nil {
+			s.recordDropFlight("check", id, trace.OutcomeError, end.Sub(t0))
 			writeError(w, http.StatusBadRequest, res.err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, verdictResponse(res.v))
+		s.recordVerdictFlight("check", id, res, end, end.Sub(t0))
+		resp := verdictResponse(res.v)
+		if explain {
+			resp.PerLayer = perLayerMap(res.d)
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.deadlines.Inc()
+		s.recordDropFlight("check", id, trace.OutcomeDeadline, time.Since(t0))
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before a verdict was produced")
 	}
 }
@@ -241,14 +440,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admissible(w, r) {
 		return
 	}
+	t0 := time.Now()
+	base, traced := s.traceDecision(r)
+	if base != "" {
+		w.Header().Set(trace.HeaderTraceID, base)
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	imgs, err := decodeBatchRequest(body)
+	imgs, explains, err := decodeBatchRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if queryExplain(r) {
+		for i := range explains {
+			explains[i] = true
+		}
 	}
 	if len(imgs) > s.cfg.QueueDepth {
 		writeError(w, http.StatusBadRequest,
@@ -264,29 +473,135 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	ps := make([]*pending, len(imgs))
+	enq := time.Now()
 	for i, img := range imgs {
-		ps[i] = &pending{img: img, ctx: ctx, done: make(chan result, 1)}
+		ps[i] = &pending{img: img, ctx: ctx, done: make(chan result, 1), explain: explains[i]}
+		if traced {
+			// Each batch member is traced individually under {base}.{i}.
+			ps[i].tr = &reqTrace{id: trace.ItemID(base, i), t0: t0, enq: enq}
+		}
 	}
 	if !s.tryEnqueue(ps...) {
+		s.recordDropFlight("batch", base, trace.OutcomeShed, time.Since(t0))
 		s.shedResponse(w)
 		return
 	}
 	resp := BatchResponse{Verdicts: make([]VerdictResponse, len(ps))}
 	for i, p := range ps {
+		itemID := ""
+		if base != "" {
+			itemID = trace.ItemID(base, i)
+		}
 		select {
 		case res := <-p.done:
+			end := time.Now()
+			s.storeTrace("batch", p, res, end)
 			if res.err != nil {
+				s.recordDropFlight("batch", itemID, trace.OutcomeError, end.Sub(t0))
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("image %d: %v", i, res.err))
 				return
 			}
+			s.recordVerdictFlight("batch", itemID, res, end, end.Sub(t0))
 			resp.Verdicts[i] = verdictResponse(res.v)
+			if p.explain {
+				resp.Verdicts[i].PerLayer = perLayerMap(res.d)
+			}
 		case <-ctx.Done():
 			s.deadlines.Inc()
+			s.recordDropFlight("batch", itemID, trace.OutcomeDeadline, time.Since(t0))
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before all verdicts were produced")
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves one sampled trace's span tree as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (serve with TraceSample > 0)")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/dv/trace/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing trace id: GET /debug/dv/trace/{id}")
+		return
+	}
+	tr := s.traces.Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no trace "+id+" (evicted, unsampled, or never seen)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// flightResponse is the body of GET /debug/dv/flight.
+type flightResponse struct {
+	Count   int           `json:"count"`
+	Entries []trace.Entry `json:"entries"`
+}
+
+// handleFlight serves the flight recorder, newest first. Filters:
+// ?valid=false (verdicts by validity), ?class=3 (by predicted label),
+// ?outcome=shed, ?limit=20.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled (serve with FlightSize >= 0)")
+		return
+	}
+	q := r.URL.Query()
+	var f trace.Filter
+	if v := q.Get("valid"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad valid filter: "+err.Error())
+			return
+		}
+		f.Valid = &b
+	}
+	if v := q.Get("class"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad class filter: "+err.Error())
+			return
+		}
+		f.Class = &k
+	}
+	f.Outcome = q.Get("outcome")
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit: "+err.Error())
+			return
+		}
+		f.Limit = n
+	}
+	entries := s.flight.Snapshot(f)
+	if entries == nil {
+		entries = []trace.Entry{}
+	}
+	writeJSON(w, http.StatusOK, flightResponse{Count: len(entries), Entries: entries})
+}
+
+// handleDrift serves the drift-watch status (Enabled false when the
+// watch is off or the loaded artifact carries no fit-time reference).
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.DriftStatus())
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -328,9 +643,28 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		// artifact pipeline is broken: stop routing fresh traffic here.
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "degraded: %d consecutive reload failures; serving the last good detector\n", s.FailStreak())
+		fmt.Fprintln(w, s.driftLine())
 		return
 	}
 	fmt.Fprintln(w, "ready")
+	fmt.Fprintln(w, s.driftLine())
+}
+
+// driftLine is the human-readable drift detail appended to /readyz
+// (always after the readiness verdict line, so line-1 parsers keep
+// working).
+func (s *Server) driftLine() string {
+	st := s.DriftStatus()
+	switch {
+	case !st.Enabled:
+		return "drift: disabled"
+	case st.Alarm:
+		return fmt.Sprintf("drift: ALARM (max score %.4f >= threshold %.4f)", st.MaxScore, st.Threshold)
+	case st.Warming:
+		return fmt.Sprintf("drift: warming (%d/%d observations)", st.Fill, st.MinFill)
+	default:
+		return fmt.Sprintf("drift: ok (max score %.4f, threshold %.4f)", st.MaxScore, st.Threshold)
+	}
 }
 
 // Drain is the SIGTERM path: stop admitting (readyz flips to 503 and

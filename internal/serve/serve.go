@@ -40,6 +40,7 @@ import (
 	"deepvalidation"
 	"deepvalidation/internal/faultinject"
 	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/trace"
 )
 
 // Metric names for the serving instruments, following the repository's
@@ -126,6 +127,28 @@ type Config struct {
 	// detector's own instruments (verdict counters, discrepancy and
 	// latency histograms). Nil disables collection at zero cost.
 	Registry *telemetry.Registry
+	// TraceSample enables per-verdict tracing: the head-sampling rate
+	// in (0, 1]. Client-supplied X-DV-Trace-Id headers are always
+	// traced when sampling is on; generated IDs are kept at this rate
+	// (deterministically, by ID hash). 0 — the default — disables
+	// tracing entirely: no IDs, no spans, no per-request allocations.
+	TraceSample float64
+	// TraceStore bounds the ring of retained sampled traces served on
+	// /debug/dv/trace/{id} (default 256).
+	TraceStore int
+	// FlightSize bounds the flight recorder of recent verdicts served
+	// on /debug/dv/flight. 0 means the default (256); negative disables
+	// the recorder.
+	FlightSize int
+	// DriftWindow sizes the sliding window the drift watch compares
+	// against the validator's fit-time reference. 0 means the default
+	// (trace.DefaultDriftWindow); negative disables the watch. A
+	// detector without a fit-time reference (legacy artifact) degrades
+	// to drift-disabled regardless.
+	DriftWindow int
+	// DriftThreshold is the per-layer quantile-shift score at which
+	// dv_drift_alarm raises (0 means trace.DefaultDriftThreshold).
+	DriftThreshold float64
 }
 
 // defaults fills unset fields in place.
@@ -163,6 +186,18 @@ func (c *Config) defaults() {
 	if c.ReloadBackoffCap <= 0 {
 		c.ReloadBackoffCap = 10 * time.Second
 	}
+	if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceSample > 1 {
+		c.TraceSample = 1
+	}
+	if c.TraceStore <= 0 {
+		c.TraceStore = 256
+	}
+	if c.FlightSize == 0 {
+		c.FlightSize = 256
+	}
 }
 
 // Server is the serving subsystem: admission queue, micro-batcher,
@@ -186,6 +221,13 @@ type Server struct {
 
 	reloadMu   sync.Mutex   // serializes Reload swaps
 	failStreak atomic.Int64 // consecutive reload failures since the last success
+
+	// Request-scoped observability; all nil when disabled, and every
+	// consumer is nil-safe, so the disabled path allocates nothing.
+	sampler *trace.Sampler
+	traces  *trace.Store
+	flight  *trace.Flight
+	drift   atomic.Pointer[trace.DriftWatch] // rebuilt on hot reload
 
 	// Instrument handles resolved once at New; all nil-safe.
 	queueDepth  *telemetry.Gauge
@@ -230,12 +272,18 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 		reloadFails: reg.Counter(MetricReloadFailed),
 		streakGauge: reg.Gauge(MetricReloadFailStreak),
 	}
+	if cfg.TraceSample > 0 {
+		s.sampler = trace.NewSampler(cfg.TraceSample)
+		s.traces = trace.NewStore(cfg.TraceStore)
+	}
+	s.flight = trace.NewFlight(cfg.FlightSize) // nil when FlightSize < 0
 	// Warm before attaching telemetry so the throwaway verdict doesn't
 	// pollute the counters.
 	if err := Warm(h.Get()); err != nil {
 		return nil, fmt.Errorf("serve: warming detector: %w", err)
 	}
 	h.Get().AttachTelemetry(reg)
+	s.rebuildDrift(h.Get())
 	s.ready.Store(true)
 	s.wg.Add(1)
 	go s.runBatcher()
@@ -322,7 +370,40 @@ func (s *Server) tryReload() (float64, error) {
 	}
 	det.AttachTelemetry(s.cfg.Registry)
 	s.handle.Swap(det)
+	// The drift reference travels with the validator, so a reloaded
+	// detector gets a fresh watch (and a reloaded legacy artifact
+	// degrades the watch to disabled).
+	s.rebuildDrift(det)
 	return eps, nil
+}
+
+// rebuildDrift installs the drift watch for det's fit-time reference,
+// or nil when drift watching is off (negative DriftWindow) or the
+// detector carries no reference.
+func (s *Server) rebuildDrift(det *deepvalidation.Detector) {
+	if s.cfg.DriftWindow < 0 {
+		s.drift.Store(nil)
+		return
+	}
+	layers, probs, ref, ok := det.DriftReference()
+	if !ok {
+		s.drift.Store(nil)
+		return
+	}
+	s.drift.Store(trace.NewDriftWatch(trace.DriftConfig{
+		Layers:    layers,
+		Probs:     probs,
+		Ref:       ref,
+		Window:    s.cfg.DriftWindow,
+		Threshold: s.cfg.DriftThreshold,
+		Registry:  s.cfg.Registry,
+	}))
+}
+
+// DriftStatus returns the current drift-watch summary (Enabled false
+// when the watch is off or the detector has no fit-time reference).
+func (s *Server) DriftStatus() trace.DriftStatus {
+	return s.drift.Load().Status()
 }
 
 // FailStreak returns the consecutive reload failures since the last

@@ -125,11 +125,26 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 }
 
-// ObserveSince records the elapsed time since t0, in seconds.
+// ObserveSince records the elapsed time since t0, in seconds. When t0
+// carries a monotonic clock reading (any ordinary time.Now result)
+// time.Since is immune to wall-clock jumps; when it does not (a time
+// that crossed serialization, or was stripped with Round) a backwards
+// wall-clock step could yield a negative elapsed, which would corrupt
+// the histogram sum — so negatives clamp to zero.
 func (h *Histogram) ObserveSince(t0 time.Time) {
 	if h != nil {
-		h.Observe(time.Since(t0).Seconds())
+		h.Observe(elapsedSeconds(t0))
 	}
+}
+
+// elapsedSeconds is time.Since clamped at zero, so a time value without
+// a monotonic reading can never record a negative duration.
+func elapsedSeconds(t0 time.Time) float64 {
+	d := time.Since(t0)
+	if d < 0 {
+		d = 0
+	}
+	return d.Seconds()
 }
 
 // Count returns the number of observations; 0 for nil.
@@ -236,10 +251,13 @@ func StartSpan(h *Histogram) Span {
 	return Span{h: h, start: time.Now()}
 }
 
-// End records the elapsed seconds. Safe to call on a no-op span.
+// End records the elapsed seconds, clamped at zero: s.start normally
+// holds a monotonic reading (StartSpan uses time.Now), but a Span built
+// from a deserialized or Round-stripped time must still never push a
+// negative sample into the histogram. Safe to call on a no-op span.
 func (s Span) End() {
 	if s.h != nil {
-		s.h.Observe(time.Since(s.start).Seconds())
+		s.h.Observe(elapsedSeconds(s.start))
 	}
 }
 

@@ -237,3 +237,36 @@ func TestObservationAllocationFree(t *testing.T) {
 		t.Errorf("nil (no-sink) path allocates %v/op, want 0", n)
 	}
 }
+
+// TestSpanNegativeElapsedClamped is the regression test for the
+// monotonic-time guard: a span whose start time lies in the future and
+// carries no monotonic reading (Round(0) strips it, modeling a
+// serialized time or a wall-clock jump) must record 0, never a
+// negative sample that would corrupt the histogram sum.
+func TestSpanNegativeElapsedClamped(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	s := Span{h: h, start: time.Now().Add(time.Hour).Round(0)}
+	s.End()
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	if sum := h.Sum(); sum < 0 {
+		t.Fatalf("negative sample recorded: sum = %v", sum)
+	}
+	if sum := h.Sum(); sum != 0 {
+		t.Fatalf("future start should clamp to exactly 0, got sum %v", sum)
+	}
+
+	h2 := NewHistogram([]float64{1, 10})
+	h2.ObserveSince(time.Now().Add(time.Hour).Round(0))
+	if h2.Sum() != 0 || h2.Count() != 1 {
+		t.Fatalf("ObserveSince: sum=%v count=%d, want 0 and 1", h2.Sum(), h2.Count())
+	}
+
+	// Sanity: a genuinely elapsed interval still records positive.
+	h3 := NewHistogram([]float64{1, 10})
+	h3.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h3.Sum() <= 0 {
+		t.Fatalf("real elapsed time recorded %v, want > 0", h3.Sum())
+	}
+}

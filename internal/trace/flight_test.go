@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlightWraparoundExactlyN fills the ring to exactly capacity: all
+// N entries must be retained, newest first.
+func TestFlightWraparoundExactlyN(t *testing.T) {
+	const n = 4
+	f := NewFlight(n)
+	for i := 0; i < n; i++ {
+		f.Record(Entry{Label: i, Outcome: OutcomeOK})
+	}
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d", f.Len(), n)
+	}
+	got := f.Snapshot(Filter{})
+	if len(got) != n {
+		t.Fatalf("snapshot has %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if want := n - 1 - i; e.Label != want {
+			t.Fatalf("entry %d label = %d, want %d (newest first)", i, e.Label, want)
+		}
+		if e.Seq != uint64(n-i) {
+			t.Fatalf("entry %d seq = %d, want %d", i, e.Seq, n-i)
+		}
+	}
+}
+
+// TestFlightWraparoundNPlusOne pushes one past capacity: the oldest
+// entry must be overwritten, everything else retained in order.
+func TestFlightWraparoundNPlusOne(t *testing.T) {
+	const n = 4
+	f := NewFlight(n)
+	for i := 0; i <= n; i++ { // n+1 records
+		f.Record(Entry{Label: i, Outcome: OutcomeOK})
+	}
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d after wrap", f.Len(), n)
+	}
+	got := f.Snapshot(Filter{})
+	if len(got) != n {
+		t.Fatalf("snapshot has %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if want := n - i; e.Label != want {
+			t.Fatalf("entry %d label = %d, want %d (label 0 must be evicted)", i, e.Label, want)
+		}
+	}
+	// Entry with label 0 (seq 1) must be gone.
+	for _, e := range got {
+		if e.Label == 0 {
+			t.Fatal("oldest entry survived the wrap")
+		}
+	}
+}
+
+func TestFlightFilters(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(Entry{Outcome: OutcomeOK, Valid: true, Label: 1})
+	f.Record(Entry{Outcome: OutcomeOK, Valid: false, Label: 2})
+	f.Record(Entry{Outcome: OutcomeQuarantined, Valid: false, Label: 2})
+	f.Record(Entry{Outcome: OutcomeShed})
+	f.Record(Entry{Outcome: OutcomeDeadline})
+
+	fv := false
+	got := f.Snapshot(Filter{Valid: &fv})
+	if len(got) != 2 {
+		t.Fatalf("valid=false matched %d entries, want 2 (shed/deadline are not verdicts)", len(got))
+	}
+	for _, e := range got {
+		if e.Valid || !verdictBearing(e.Outcome) {
+			t.Fatalf("valid=false matched %+v", e)
+		}
+	}
+
+	tv := true
+	if got := f.Snapshot(Filter{Valid: &tv}); len(got) != 1 || got[0].Label != 1 {
+		t.Fatalf("valid=true matched %+v", got)
+	}
+
+	cls := 2
+	if got := f.Snapshot(Filter{Class: &cls}); len(got) != 2 {
+		t.Fatalf("class=2 matched %d, want 2", len(got))
+	}
+	// Class filter must not match a shed entry whose zero-valued Label
+	// happens to equal the class.
+	zero := 0
+	if got := f.Snapshot(Filter{Class: &zero}); len(got) != 0 {
+		t.Fatalf("class=0 matched %d shed/deadline entries, want 0", len(got))
+	}
+
+	if got := f.Snapshot(Filter{Outcome: OutcomeShed}); len(got) != 1 || got[0].Outcome != OutcomeShed {
+		t.Fatalf("outcome=shed matched %+v", got)
+	}
+
+	if got := f.Snapshot(Filter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit=2 returned %d", len(got))
+	}
+	// Limit applies after filtering, newest-first.
+	if got := f.Snapshot(Filter{Valid: &fv, Limit: 1}); len(got) != 1 || got[0].Outcome != OutcomeQuarantined {
+		t.Fatalf("filtered limit returned %+v", got)
+	}
+}
+
+func TestFlightNilAndDisabled(t *testing.T) {
+	if NewFlight(0) != nil || NewFlight(-1) != nil {
+		t.Fatal("non-positive size should disable the recorder")
+	}
+	var f *Flight
+	f.Record(Entry{})
+	if f.Len() != 0 || f.Snapshot(Filter{}) != nil {
+		t.Fatal("nil flight must no-op")
+	}
+}
+
+func TestFlightConcurrentRecordSnapshot(t *testing.T) {
+	f := NewFlight(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(Entry{Label: g, Outcome: OutcomeOK})
+				_ = f.Snapshot(Filter{Limit: 3})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", f.Len())
+	}
+	// Sequence numbers must be unique and the newest snapshot ordered.
+	got := f.Snapshot(Filter{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq >= got[i-1].Seq {
+			t.Fatalf("snapshot not newest-first: seq %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}

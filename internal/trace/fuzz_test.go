@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceID hammers the header parser with arbitrary bytes: whatever
+// comes in, FromHeader must never accept an ID that fails ValidID, and
+// any accepted ID must survive the places it is echoed into — response
+// headers, a URL path segment, JSON — without needing escaping.
+func FuzzTraceID(f *testing.F) {
+	f.Add("abc-123")
+	f.Add("  spaced  ")
+	f.Add("")
+	f.Add(strings.Repeat("x", 64))
+	f.Add(strings.Repeat("x", 65))
+	f.Add("a/b/../c")
+	f.Add("id\r\nSet-Cookie: owned=1")
+	f.Add("\"quoted\"")
+	f.Add("id\x00nul")
+	f.Add("ümlaut")
+	f.Fuzz(func(t *testing.T, header string) {
+		id, ok := FromHeader(header)
+		if !ok {
+			if id != "" {
+				t.Fatalf("rejected header returned non-empty ID %q", id)
+			}
+			return
+		}
+		if !ValidID(id) {
+			t.Fatalf("FromHeader(%q) accepted invalid ID %q", header, id)
+		}
+		if len(id) > 64 {
+			t.Fatalf("accepted over-long ID (%d chars)", len(id))
+		}
+		// No characters that need escaping anywhere the ID is echoed.
+		if strings.ContainsAny(id, " \t\r\n/\\\"{}<>%?#&") {
+			t.Fatalf("accepted ID %q contains unsafe characters", id)
+		}
+		// Accepted IDs must be idempotent under re-parsing (the response
+		// header round-trips through the same parser on the client side).
+		id2, ok2 := FromHeader(id)
+		if !ok2 || id2 != id {
+			t.Fatalf("accepted ID %q does not round-trip: (%q, %v)", id, id2, ok2)
+		}
+		// Batch item derivation must preserve validity.
+		if item := ItemID(id, 7); !ValidID(item) && len(item) <= 64 {
+			t.Fatalf("ItemID(%q, 7) = %q invalid", id, item)
+		}
+		// The sampler must be total and deterministic on any accepted ID.
+		s := NewSampler(0.5)
+		if s.Sample(id) != s.Sample(id) {
+			t.Fatalf("sampler not deterministic on %q", id)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a verdict's life. Spans form a tree:
+// the root covers the whole request and children cover admission,
+// batcher wait, dispatch, the forward pass, and per-layer SVM scoring.
+// Times are wall-clock nanoseconds since the Unix epoch (StartNs) plus
+// a duration (DurNs), both computed from monotonic readings at record
+// time so a wall-clock jump cannot produce a negative duration.
+type Span struct {
+	Name     string         `json:"name"`
+	StartNs  int64          `json:"start_ns"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*Span        `json:"children,omitempty"`
+}
+
+// NewSpan builds a span from two time.Time readings, clamping negative
+// durations (possible only when a reading lost its monotonic clock) to
+// zero.
+func NewSpan(name string, start, end time.Time) *Span {
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	return &Span{Name: name, StartNs: start.UnixNano(), DurNs: int64(d)}
+}
+
+// SetAttr attaches a key/value attribute, allocating the map lazily.
+func (s *Span) SetAttr(k string, v any) *Span {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[k] = v
+	return s
+}
+
+// AddChild appends a child span and returns it for chaining.
+func (s *Span) AddChild(c *Span) *Span {
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Trace is one recorded verdict trace: the ID, the endpoint it entered
+// through, and the span tree.
+type Trace struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Root     *Span  `json:"root"`
+}
+
+// Store holds the most recent sampled traces in a bounded ring: when
+// full, adding a trace evicts the oldest. Lookup is by ID. All methods
+// are safe for concurrent use and nil-safe.
+type Store struct {
+	mu   sync.Mutex
+	ring []*Trace
+	byID map[string]*Trace
+	next int
+}
+
+// NewStore returns a store keeping the last size traces, or nil when
+// size <= 0 (store disabled).
+func NewStore(size int) *Store {
+	if size <= 0 {
+		return nil
+	}
+	return &Store{ring: make([]*Trace, size), byID: make(map[string]*Trace, size)}
+}
+
+// Add records a trace, evicting the oldest when the ring is full.
+// Re-adding an ID replaces the lookup entry (last write wins).
+func (st *Store) Add(tr *Trace) {
+	if st == nil || tr == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if old := st.ring[st.next]; old != nil {
+		// Delete the evictee from the index only if the index still
+		// points at it — a newer trace may have reused the ID.
+		if cur, ok := st.byID[old.ID]; ok && cur == old {
+			delete(st.byID, old.ID)
+		}
+	}
+	st.ring[st.next] = tr
+	st.byID[tr.ID] = tr
+	st.next = (st.next + 1) % len(st.ring)
+}
+
+// Get returns the trace with the given ID, or nil when absent (or the
+// store is nil).
+func (st *Store) Get(id string) *Trace {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byID[id]
+}
+
+// Len returns the number of traces currently held.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
