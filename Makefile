@@ -14,22 +14,27 @@ vet:
 # race exercises the concurrency-bearing packages — the parallel Fit
 # collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, the
 # telemetry registry they all observe into, the serving micro-batcher,
-# and the experiment harness that drives them — under the race detector.
+# the hunt scheduler fanning candidates across the scoring pool (its
+# worker-count determinism test included), and the experiment harness
+# that drives them — under the race detector.
 race:
-	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve .
+	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve ./internal/hunt .
 
 # smoke runs the end-to-end checks against real processes: the
 # observability pass (train, score, scrape /metrics), the serving
 # pass (dvserve check/batch/reload, 429 shedding, SIGTERM drain), the
 # chaos pass (artifact corruption, crash-safe saves, reload
-# degradation and recovery), and the tracing pass (span trees, flight
+# degradation and recovery), the tracing pass (span trees, flight
 # recorder triage, drift gauges, legacy drift degradation — against a
-# race-built dvserve).
+# race-built dvserve), and the hunt pass (train → coverage-guided
+# mine → byte-identical corpora across -workers → strict replay →
+# dvreport escape-rate table → committed-corpus regression test).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
 	./scripts/chaos_smoke.sh
 	./scripts/trace_smoke.sh
+	./scripts/hunt_smoke.sh
 
 # check is the CI gate: full build + tests, vet, the race pass, and the
 # telemetry smoke run.
@@ -44,6 +49,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTraceID -fuzztime 30s -run '^$$' ./internal/trace
 	$(GO) test -fuzz FuzzReadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzLoadPNM -fuzztime 30s -run '^$$' ./internal/dataset
+	$(GO) test -fuzz FuzzTransformCompose -fuzztime 30s -run '^$$' ./internal/imgtrans
 
 # snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
 # for the parallel scoring & fitting pipeline plus the serving

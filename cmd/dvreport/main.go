@@ -6,16 +6,26 @@
 //
 // With a warm cache (after `dvbench -exp all`) the report renders in
 // seconds; on a cold cache it trains everything first.
+//
+// -hunt merges a dvhunt escape corpus into the report: the
+// per-composition escape-rate table from the corpus's rates.json plus
+// the persisted escapes from its manifest:
+//
+//	dvreport -scale quick -hunt testdata/escapes -markdown -o report.md
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"deepvalidation/internal/experiment"
+	"deepvalidation/internal/hunt"
 )
 
 func main() {
@@ -34,6 +44,7 @@ func run() error {
 		attacks   = flag.Bool("attacks", true, "include Table VIII (expensive on a cold cache)")
 		ablations = flag.Bool("ablations", false, "include ablation sections (refits validators)")
 		scenarios = flag.String("datasets", "", "comma-separated scenario subset (default all)")
+		huntDir   = flag.String("hunt", "", "dvhunt corpus directory: append its escape-rate table (e.g. testdata/escapes)")
 	)
 	flag.Parse()
 
@@ -71,5 +82,49 @@ func run() error {
 	}
 	bw := bufio.NewWriter(out)
 	defer bw.Flush()
-	return lab.WriteReport(bw, cfg)
+	if err := lab.WriteReport(bw, cfg); err != nil {
+		return err
+	}
+	if *huntDir != "" {
+		return writeHuntSection(bw, *huntDir, *markdown)
+	}
+	return nil
+}
+
+// writeHuntSection appends the corner-case mining section: the hunt's
+// per-composition escape-rate table (rates.json) and a summary of the
+// escapes persisted in the corpus manifest.
+func writeHuntSection(w io.Writer, dir string, markdown bool) error {
+	report, err := hunt.LoadReport(filepath.Join(dir, hunt.RatesName))
+	if err != nil {
+		return err
+	}
+	heading := "== Detector-escape mining (dvhunt) ==\n\n"
+	if markdown {
+		heading = "## Detector-escape mining (dvhunt)\n\n"
+	}
+	if _, err := fmt.Fprintf(w, "\n%s", heading); err != nil {
+		return err
+	}
+	if err := report.WriteTable(w, markdown); err != nil {
+		return err
+	}
+	// The manifest is optional detail: a rates.json without a persisted
+	// corpus (replay-only layouts) still renders the table above.
+	corpus, manifest, err := hunt.LoadCorpus(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	live := 0
+	for _, e := range corpus.Escapes {
+		if !e.Near {
+			live++
+		}
+	}
+	_, err = fmt.Fprintf(w, "\ncorpus %s: %d persisted escapes (%d full, %d near) against model %q at eps=%.6g\n",
+		dir, corpus.Len(), live, corpus.Len()-live, manifest.Model, manifest.Epsilon)
+	return err
 }

@@ -66,6 +66,10 @@ const maxHeaderLen = 1 << 20
 const (
 	KindModel     = "model"
 	KindValidator = "validator"
+	// KindEscape is one detector-escape regression case mined by dvhunt
+	// (internal/hunt): a seed image, the transformation chain that broke
+	// the model, and the verdict recorded at mining time.
+	KindEscape = "escape"
 )
 
 // Header is the integrity and identity metadata of one artifact. It is

@@ -1,0 +1,152 @@
+package corner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepvalidation/internal/tensor"
+)
+
+func TestSpacesCoverFamiliesAndGeometry(t *testing.T) {
+	gray := Spaces(true, 8, 8)
+	color := Spaces(false, 8, 8)
+	if len(gray) != len(color)+1 {
+		t.Fatalf("grayscale spaces = %d, color = %d (complement must be grayscale-only)", len(gray), len(color))
+	}
+	names := map[string]bool{}
+	for _, s := range gray {
+		if names[s.Family] {
+			t.Fatalf("duplicate family %q", s.Family)
+		}
+		names[s.Family] = true
+	}
+	if _, ok := SpaceByFamily(gray, "complement"); !ok {
+		t.Fatal("grayscale spaces miss complement")
+	}
+	if _, ok := SpaceByFamily(color, "complement"); ok {
+		t.Fatal("color spaces include complement")
+	}
+	if _, ok := SpaceByFamily(gray, "no-such-family"); ok {
+		t.Fatal("SpaceByFamily invented a family")
+	}
+
+	// Pixel-denominated ranges must scale with the image.
+	small, _ := SpaceByFamily(Spaces(true, 8, 8), "translation")
+	large, _ := SpaceByFamily(Spaces(true, 28, 28), "translation")
+	if small.Params[0].Max >= large.Params[0].Max {
+		t.Fatalf("translation range did not grow with the image: %v vs %v",
+			small.Params[0].Max, large.Params[0].Max)
+	}
+}
+
+func TestSpacesSampleClampNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.New(1, 8, 8).FillUniform(rng, 0, 1)
+	for _, sp := range Spaces(true, 8, 8) {
+		for trial := 0; trial < 50; trial++ {
+			p := sp.Sample(rng)
+			if len(p) != len(sp.Params) {
+				t.Fatalf("%s: Sample returned %d params, want %d", sp.Family, len(p), len(sp.Params))
+			}
+			for i, r := range sp.Params {
+				if p[i] < r.Min || p[i] > r.Max {
+					t.Fatalf("%s: sampled %s = %v outside [%v, %v]", sp.Family, r.Name, p[i], r.Min, r.Max)
+				}
+			}
+			out := sp.Make(p).Apply(img)
+			for _, v := range out.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: sampled transform produced non-finite pixels", sp.Family)
+				}
+			}
+		}
+
+		// Clamp must repair anything, NaNs included, in place.
+		wild := make([]float64, len(sp.Params))
+		for i := range wild {
+			switch i % 3 {
+			case 0:
+				wild[i] = math.NaN()
+			case 1:
+				wild[i] = -1e18
+			default:
+				wild[i] = 1e18
+			}
+		}
+		got := sp.Clamp(wild)
+		for i, r := range sp.Params {
+			if got[i] < r.Min || got[i] > r.Max || math.IsNaN(got[i]) {
+				t.Fatalf("%s: Clamp left %s = %v outside [%v, %v]", sp.Family, r.Name, got[i], r.Min, r.Max)
+			}
+		}
+		out := sp.Make(got).Apply(img)
+		for _, v := range out.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: clamped wild transform produced non-finite pixels", sp.Family)
+			}
+		}
+
+		// The neutral vector must be a (near) no-op for every family that
+		// has parameters; noise with σ=0 and blur with σ=0 included.
+		if len(sp.Params) == 0 {
+			continue
+		}
+		if sp.Family == "occlusion" {
+			// Occlusion has no true no-op: its minimal patch is 1 px.
+			continue
+		}
+		out = sp.Make(sp.Neutral()).Apply(img)
+		for i, v := range out.Data {
+			if math.Abs(v-img.Data[i]) > 1e-9 {
+				t.Fatalf("%s: neutral transform moved pixel %d: %v -> %v", sp.Family, i, img.Data[i], v)
+			}
+		}
+	}
+}
+
+func TestSelectSeedsSeededDeterminism(t *testing.T) {
+	net := toyNet(t)
+	testX, testY := toyProblem(rand.New(rand.NewSource(50)), 60)
+	pick := func(seed int64) []int {
+		xs, ys, err := SelectSeeds(net, testX, testY, 10, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := make([]int, len(xs))
+		for i, x := range xs {
+			found := -1
+			for j := range testX {
+				if testX[j] == x {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatal("SelectSeeds returned an image not in the test set")
+			}
+			if testY[found] != ys[i] {
+				t.Fatal("SelectSeeds mislabeled a seed")
+			}
+			idx[i] = found
+		}
+		return idx
+	}
+	a, b := pick(7), pick(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed picked different images: %v vs %v", a, b)
+		}
+	}
+	c := pick(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds picked identical seed sets (suspicious for a 60-image pool)")
+	}
+}

@@ -1,0 +1,363 @@
+package hunt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"deepvalidation/internal/artifact"
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/tensor"
+)
+
+// Escape is one mined regression case: the clean seed image, the
+// transformation chain that produced the detector escape, and the
+// verdict recorded at mining time. The transformed image itself is NOT
+// stored — replay re-applies the chain, so the corpus doubles as a
+// regression test over the transformation pipeline: TransformedSHA256
+// pins the transformed pixels, separating "imgtrans changed" from "the
+// detector changed" when a replay diverges.
+type Escape struct {
+	// Version guards the gob schema (bump on incompatible change).
+	Version int
+	// ModelName names the detector the escape was mined against.
+	ModelName string
+	// SeedShape/SeedData are the clean seed tensor (C,H,W; pixels in
+	// [0,1]); SeedLabel its ground-truth class.
+	SeedShape []int
+	SeedData  []float64
+	SeedLabel int
+	// Chain is the minimized transformation composition.
+	Chain Chain
+	// TransformedSHA256 (hex) pins the transformed image's pixel bits.
+	TransformedSHA256 string
+	// Recorded verdict at mining time: the model predicted Pred with
+	// Confidence while the validator's joint discrepancy Joint sat
+	// under (Near: within NearFactor of) the threshold Epsilon.
+	Pred       int
+	Confidence float64
+	Joint      float64
+	Epsilon    float64
+	Near       bool
+}
+
+// escapeVersion is the current Escape gob schema version.
+const escapeVersion = 1
+
+// Seed reconstructs the seed tensor.
+func (e *Escape) Seed() *tensor.Tensor {
+	return tensor.From(append([]float64(nil), e.SeedData...), e.SeedShape...)
+}
+
+// Image re-applies the chain to the seed, returning the corner-case
+// image the escape was recorded on.
+func (e *Escape) Image(spaces []corner.Space) (*tensor.Tensor, error) {
+	tr, err := e.Chain.Materialize(spaces)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Apply(e.Seed()), nil
+}
+
+// TensorSHA256 hashes a tensor's shape and exact pixel bit patterns —
+// the pin that tells transformation-pipeline drift apart from detector
+// drift during corpus replay.
+func TensorSHA256(t *tensor.Tensor) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint64(buf[:], uint64(d))
+		h.Write(buf[:])
+	}
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encode produces the storage gob payload. Within one process gob
+// output is deterministic, which is what makes fixed-seed corpora
+// byte-identical across worker counts; it is NOT hashed for identity —
+// gob assigns type IDs in global first-use order, so the same escape
+// can encode to different bytes in processes that gob-encoded other
+// types first (ID hashes the canonical fingerprint instead).
+func (e *Escape) encode() ([]byte, error) {
+	e.Version = escapeVersion
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("hunt: encoding escape: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// fingerprint writes the canonical byte rendering of every identity-
+// bearing field — exact IEEE-754 bits for floats, length-prefixed
+// strings — so the derived ID is identical in every process, unlike
+// the gob payload.
+func (e *Escape) fingerprint() []byte {
+	var b bytes.Buffer
+	writeU64 := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		b.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		b.WriteString(s)
+	}
+	writeU64(escapeVersion)
+	writeStr(e.ModelName)
+	writeU64(uint64(len(e.SeedShape)))
+	for _, d := range e.SeedShape {
+		writeU64(uint64(d))
+	}
+	writeU64(uint64(len(e.SeedData)))
+	for _, v := range e.SeedData {
+		writeU64(math.Float64bits(v))
+	}
+	writeU64(uint64(int64(e.SeedLabel)))
+	writeStr(e.Chain.Key())
+	writeStr(e.TransformedSHA256)
+	writeU64(uint64(int64(e.Pred)))
+	writeU64(math.Float64bits(e.Confidence))
+	writeU64(math.Float64bits(e.Joint))
+	writeU64(math.Float64bits(e.Epsilon))
+	if e.Near {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	return b.Bytes()
+}
+
+// ID derives the content-addressed identifier of an escape (the first
+// 12 hex digits of its fingerprint SHA-256).
+func (e *Escape) ID() (string, error) {
+	sum := sha256.Sum256(e.fingerprint())
+	return "escape-" + hex.EncodeToString(sum[:])[:12], nil
+}
+
+// Validate checks the invariants a decoded escape must hold before its
+// chain is re-applied.
+func (e *Escape) Validate() error {
+	if e.Version != escapeVersion {
+		return fmt.Errorf("hunt: escape schema version %d, want %d", e.Version, escapeVersion)
+	}
+	if len(e.SeedShape) != 3 {
+		return fmt.Errorf("hunt: escape seed has shape %v, want (C,H,W)", e.SeedShape)
+	}
+	n := 1
+	for _, d := range e.SeedShape {
+		if d <= 0 {
+			return fmt.Errorf("hunt: escape seed has non-positive dimension in %v", e.SeedShape)
+		}
+		n *= d
+	}
+	if len(e.SeedData) != n {
+		return fmt.Errorf("hunt: escape seed has %d pixels for shape %v", len(e.SeedData), e.SeedShape)
+	}
+	for i, v := range e.SeedData {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hunt: escape seed pixel %d is %v", i, v)
+		}
+	}
+	if len(e.Chain) == 0 {
+		return fmt.Errorf("hunt: escape carries an empty chain")
+	}
+	if !finite(e.Joint) || !finite(e.Epsilon) || !finite(e.Confidence) {
+		return fmt.Errorf("hunt: escape carries non-finite recorded verdict numbers")
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ManifestEntry is one escape's row in the corpus manifest — the
+// human-auditable summary of what was mined, and the key the replay
+// regression test compares current verdicts against.
+type ManifestEntry struct {
+	ID         string  `json:"id"`
+	File       string  `json:"file"`
+	Families   string  `json:"families"`
+	Chain      string  `json:"chain"`
+	SeedLabel  int     `json:"seed_label"`
+	Pred       int     `json:"pred"`
+	Confidence float64 `json:"confidence"`
+	Joint      float64 `json:"joint"`
+	Near       bool    `json:"near"`
+}
+
+// Manifest indexes a persisted corpus.
+type Manifest struct {
+	Version int             `json:"version"`
+	Model   string          `json:"model"`
+	Epsilon float64         `json:"epsilon"`
+	Escapes []ManifestEntry `json:"escapes"`
+}
+
+// ManifestName is the corpus index filename.
+const ManifestName = "manifest.json"
+
+// Corpus is an in-memory escape collection, deduplicated by content.
+type Corpus struct {
+	Escapes []*Escape
+
+	ids  []string
+	keys map[string]struct{}
+}
+
+// Add appends an escape unless an identical one (same seed, chain, and
+// recorded verdict → same content ID) is already present. It reports
+// whether the escape was new.
+func (c *Corpus) Add(e *Escape) (bool, error) {
+	id, err := e.ID()
+	if err != nil {
+		return false, err
+	}
+	if c.keys == nil {
+		c.keys = make(map[string]struct{})
+	}
+	if _, ok := c.keys[id]; ok {
+		return false, nil
+	}
+	c.keys[id] = struct{}{}
+	c.Escapes = append(c.Escapes, e)
+	c.ids = append(c.ids, id)
+	return true, nil
+}
+
+// Len returns the number of distinct escapes.
+func (c *Corpus) Len() int { return len(c.Escapes) }
+
+// Save persists every escape as a checksummed artifact container
+// (<id>.dvart, Kind "escape") plus the manifest, all written atomically
+// and in a canonical order (sorted by ID) so fixed-seed corpora are
+// byte-identical directory trees. spaces is used to render the
+// manifest's human-readable chain descriptions. epsilon/model label the
+// manifest; they should match the detector the hunt ran against.
+func (c *Corpus) Save(dir string, spaces []corner.Space, model string, epsilon float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("hunt: creating corpus dir: %w", err)
+	}
+	type item struct {
+		id string
+		e  *Escape
+	}
+	items := make([]item, len(c.Escapes))
+	for i, e := range c.Escapes {
+		items[i] = item{c.ids[i], e}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+
+	m := Manifest{Version: 1, Model: model, Epsilon: epsilon}
+	for _, it := range items {
+		payload, err := it.e.encode()
+		if err != nil {
+			return err
+		}
+		file := it.id + ".dvart"
+		h := artifact.Header{
+			Kind:       artifact.KindEscape,
+			ModelName:  it.e.ModelName,
+			InputShape: append([]int(nil), it.e.SeedShape...),
+		}
+		if err := artifact.WriteFile(filepath.Join(dir, file), h, payload); err != nil {
+			return err
+		}
+		m.Escapes = append(m.Escapes, ManifestEntry{
+			ID:         it.id,
+			File:       file,
+			Families:   it.e.Chain.FamilyKey(),
+			Chain:      it.e.Chain.Describe(spaces),
+			SeedLabel:  it.e.SeedLabel,
+			Pred:       it.e.Pred,
+			Confidence: it.e.Confidence,
+			Joint:      it.e.Joint,
+			Near:       it.e.Near,
+		})
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("hunt: encoding manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, ManifestName), append(data, '\n'))
+}
+
+// writeFileAtomic writes small metadata files with the same
+// temp+rename discipline the artifact layer uses, minus the fsyncs —
+// corpora are regenerable, so torn-write durability matters less than
+// never leaving a half-written manifest.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadEscape reads and validates one escape artifact.
+func LoadEscape(path string) (*Escape, error) {
+	info, payload, err := artifact.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Legacy && info.Header.Kind != artifact.KindEscape {
+		return nil, fmt.Errorf("hunt: %s is a %q artifact, want %q", path, info.Header.Kind, artifact.KindEscape)
+	}
+	var e Escape
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("hunt: decoding escape %s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("hunt: %s: %w", path, err)
+	}
+	return &e, nil
+}
+
+// LoadCorpus reads a persisted corpus directory: the manifest plus
+// every escape artifact it lists. Escapes come back in manifest order
+// (sorted by ID at save time).
+func LoadCorpus(dir string) (*Corpus, *Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("hunt: reading corpus manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("hunt: parsing corpus manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, nil, fmt.Errorf("hunt: corpus manifest version %d, want 1", m.Version)
+	}
+	c := &Corpus{}
+	for _, ent := range m.Escapes {
+		if ent.File != filepath.Base(ent.File) || !strings.HasSuffix(ent.File, ".dvart") {
+			return nil, nil, fmt.Errorf("hunt: manifest entry %q has suspicious file name %q", ent.ID, ent.File)
+		}
+		e, err := LoadEscape(filepath.Join(dir, ent.File))
+		if err != nil {
+			return nil, nil, err
+		}
+		id, err := e.ID()
+		if err != nil {
+			return nil, nil, err
+		}
+		if id != ent.ID {
+			return nil, nil, fmt.Errorf("hunt: %s content ID %s disagrees with manifest entry %s", ent.File, id, ent.ID)
+		}
+		if _, err := c.Add(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, &m, nil
+}

@@ -1,0 +1,109 @@
+package hunt
+
+import (
+	"math"
+	"sort"
+)
+
+// Coverage is the search's novelty signal: it discretizes each
+// verdict's per-layer discrepancies into the quantile bins of the
+// validator's fit-time drift reference (the PR 5 snapshot — five
+// probabilities per layer, so six bins from "below the 5% quantile of
+// the training distribution" to "beyond the 95%"), and tracks which
+// (predicted label, per-layer bin vector) signatures have been seen.
+//
+// A candidate whose signature is new has pushed some layer's
+// representation into a discrepancy region no earlier candidate
+// reached — the analogue of new branch coverage in a fuzzer, using the
+// detector's own calibrated view of feature space instead of neuron
+// activation thresholds.
+type Coverage struct {
+	edges [][]float64 // [layerPos][prob] reference quantiles (ascending)
+	seen  map[string]struct{}
+	// binHit[p][b] counts observations of layer position p in bin b.
+	binHit [][]int
+}
+
+// NewCoverage builds a coverage map from a drift reference
+// (Validator.DriftQuantiles rows, parallel to LayerIdx). It returns
+// nil when the reference is absent or malformed; the scheduler treats
+// a nil map as an error — without the reference there is no coverage
+// signal to guide the search.
+func NewCoverage(quantiles [][]float64) *Coverage {
+	if len(quantiles) == 0 {
+		return nil
+	}
+	edges := make([][]float64, len(quantiles))
+	binHit := make([][]int, len(quantiles))
+	for p, row := range quantiles {
+		if len(row) < 2 {
+			return nil
+		}
+		edges[p] = append([]float64(nil), row...)
+		binHit[p] = make([]int, len(row)+1)
+	}
+	return &Coverage{edges: edges, seen: make(map[string]struct{}), binHit: binHit}
+}
+
+// bin places one discrepancy into its quantile bin: 0 below the first
+// reference quantile, len(edges) beyond the last.
+func bin(edges []float64, d float64) int {
+	return sort.SearchFloat64s(edges, d)
+}
+
+// Observe folds one verdict into the map and reports whether its
+// signature is novel. Non-finite discrepancy vectors (quarantined
+// verdicts) carry no distributional information and are never novel.
+func (c *Coverage) Observe(label int, perLayer []float64) bool {
+	if c == nil || len(perLayer) != len(c.edges) {
+		return false
+	}
+	for _, d := range perLayer {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return false
+		}
+	}
+	// Signature bytes: predicted label then one bin index per layer.
+	// Bin counts are small (len(probs)+1 ≤ a few dozen), so one byte
+	// each is exact.
+	sig := make([]byte, 0, len(perLayer)+1)
+	sig = append(sig, byte(label))
+	for p, d := range perLayer {
+		b := bin(c.edges[p], d)
+		c.binHit[p][b]++
+		sig = append(sig, byte(b))
+	}
+	key := string(sig)
+	if _, ok := c.seen[key]; ok {
+		return false
+	}
+	c.seen[key] = struct{}{}
+	return true
+}
+
+// Signatures returns how many distinct (label, bin-vector) signatures
+// have been observed.
+func (c *Coverage) Signatures() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.seen)
+}
+
+// Bins reports how many of the per-layer quantile bins have been hit
+// at least once, and how many exist — the coarse "how much of the
+// discrepancy space did the hunt visit" number for reports.
+func (c *Coverage) Bins() (hit, total int) {
+	if c == nil {
+		return 0, 0
+	}
+	for _, row := range c.binHit {
+		for _, n := range row {
+			total++
+			if n > 0 {
+				hit++
+			}
+		}
+	}
+	return hit, total
+}

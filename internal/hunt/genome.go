@@ -1,0 +1,122 @@
+// Package hunt is the coverage-guided corner-case miner (ROADMAP item
+// 4, in the spirit of DeepXplore's coverage-guided whitebox testing and
+// SINVAD's search-based input-space navigation): it searches the
+// metamorphic transformation parameter space — and transformation
+// *compositions* — for detector escapes, inputs the CNN mispredicts
+// with high confidence while the Deep Validation detector still
+// accepts the prediction as valid.
+//
+// The search is structured in the Go-native fuzzing idiom:
+//
+//   - a genome (Chain) encodes a candidate as an ordered list of
+//     parameterized transformation stages drawn from corner.Spaces;
+//   - a Mutator perturbs, resamples, adds, drops, and reorders stages;
+//   - a Coverage map built from the validator's own fit-time
+//     per-layer discrepancy quantiles (the PR 5 drift reference) keeps
+//     candidates that reach unexplored discrepancy regions in the
+//     queue, so the search is rewarded for novelty rather than pure
+//     random mutation;
+//   - escapes (and near-escapes within a configurable margin of ε) are
+//     Minimized — stages dropped, parameters shrunk toward neutral —
+//     and persisted as a checksummed regression Corpus under
+//     testdata/escapes/.
+//
+// Everything is deterministic for a fixed Config.Seed: the scheduler's
+// control flow is single-threaded, scoring fans across the validator's
+// worker pool (bit-identical at any worker count), and corpus files are
+// canonical gob payloads in artifact containers — so a fixed-seed hunt
+// produces byte-identical corpora at any -workers setting.
+package hunt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/imgtrans"
+)
+
+// Stage is one parameterized transformation of a candidate chain. The
+// parameter vector is indexed like the family's corner.Space.Params.
+type Stage struct {
+	Family string
+	Params []float64
+}
+
+// Chain is the genome of one candidate: an ordered transformation
+// composition applied left to right to a seed image.
+type Chain []Stage
+
+// Clone deep-copies the chain so mutations never alias a queued parent.
+func (c Chain) Clone() Chain {
+	out := make(Chain, len(c))
+	for i, st := range c {
+		out[i] = Stage{Family: st.Family, Params: append([]float64(nil), st.Params...)}
+	}
+	return out
+}
+
+// Key renders the chain canonically — family names with full-precision
+// parameters — for corpus deduplication. Two chains share a key iff
+// they materialize into the same transform.
+func (c Chain) Key() string {
+	var b strings.Builder
+	for i, st := range c {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(st.Family)
+		b.WriteByte('(')
+		for j, p := range st.Params {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// FamilyKey is the composition signature the escape-rate tables group
+// by: the "+"-joined family names, e.g. "rotation+blur".
+func (c Chain) FamilyKey() string {
+	if len(c) == 0 {
+		return "identity"
+	}
+	parts := make([]string, len(c))
+	for i, st := range c {
+		parts[i] = st.Family
+	}
+	return strings.Join(parts, "+")
+}
+
+// Materialize clamps every stage's parameters into its family's space
+// and builds the concrete transform. Unknown families are an error —
+// they mean a corpus written against a newer transformation set.
+func (c Chain) Materialize(spaces []corner.Space) (imgtrans.Transform, error) {
+	chain := make(imgtrans.Chain, len(c))
+	for i, st := range c {
+		sp, ok := corner.SpaceByFamily(spaces, st.Family)
+		if !ok {
+			return nil, fmt.Errorf("hunt: unknown transformation family %q", st.Family)
+		}
+		if len(st.Params) != len(sp.Params) {
+			return nil, fmt.Errorf("hunt: family %q wants %d parameters, chain carries %d",
+				st.Family, len(sp.Params), len(st.Params))
+		}
+		chain[i] = sp.Make(sp.Clamp(append([]float64(nil), st.Params...)))
+	}
+	return chain, nil
+}
+
+// Describe renders the materialized chain's human-readable form; chains
+// that fail to materialize render their key instead.
+func (c Chain) Describe(spaces []corner.Space) string {
+	tr, err := c.Materialize(spaces)
+	if err != nil {
+		return c.Key()
+	}
+	return tr.Describe()
+}

@@ -1,0 +1,78 @@
+package hunt
+
+import (
+	"fmt"
+
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/tensor"
+)
+
+// SpacesFor returns the transformation spaces matching an escape's
+// seed geometry — the same ones the hunt that mined it used.
+func (e *Escape) SpacesFor() []corner.Space {
+	return corner.Spaces(e.SeedShape[0] == 1, e.SeedShape[1], e.SeedShape[2])
+}
+
+// CornerImage re-applies the chain to the seed and cross-checks the
+// result against the pinned pixel checksum. pixelsMatch is false when
+// the transformation pipeline no longer reproduces the mined image —
+// expected after an intentional imgtrans change, alarming otherwise.
+func (e *Escape) CornerImage() (img *tensor.Tensor, pixelsMatch bool, err error) {
+	img, err = e.Image(e.SpacesFor())
+	if err != nil {
+		return nil, false, err
+	}
+	return img, TensorSHA256(img) == e.TransformedSHA256, nil
+}
+
+// ReplayOutcome is one escape's current verdict next to its recorded
+// one.
+type ReplayOutcome struct {
+	ID string
+	// PixelsMatch reports whether the re-applied chain reproduced the
+	// recorded image bit for bit.
+	PixelsMatch bool
+	// Current verdict fields.
+	Pred       int
+	Confidence float64
+	Joint      float64
+	Valid      bool
+	// Caught is true when the detector now handles the case — the
+	// prediction is flagged invalid, or the model now predicts the seed
+	// label correctly. A previously mined escape flipping to Caught
+	// means a detector improvement fixed it.
+	Caught bool
+}
+
+// Replay re-runs every corpus escape through the target at the given
+// threshold and reports the current outcomes in corpus order.
+func Replay(tgt Target, corpus *Corpus, epsilon float64, workers int) ([]ReplayOutcome, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("hunt: replay epsilon must be positive")
+	}
+	out := make([]ReplayOutcome, corpus.Len())
+	imgs := make([]*tensor.Tensor, corpus.Len())
+	for i, e := range corpus.Escapes {
+		img, match, err := e.CornerImage()
+		if err != nil {
+			return nil, err
+		}
+		id, err := e.ID()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ReplayOutcome{ID: id, PixelsMatch: match}
+		imgs[i] = img
+	}
+	results := tgt.Val.ScoreBatchWorkers(tgt.Net, imgs, workers)
+	for i, res := range results {
+		e := corpus.Escapes[i]
+		valid := !res.NonFinite && res.Joint < epsilon
+		out[i].Pred = res.Label
+		out[i].Confidence = res.Confidence
+		out[i].Joint = res.Joint
+		out[i].Valid = valid
+		out[i].Caught = !valid || res.Label == e.SeedLabel
+	}
+	return out, nil
+}

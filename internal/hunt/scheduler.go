@@ -1,0 +1,350 @@
+package hunt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"deepvalidation/internal/core"
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/tensor"
+)
+
+// Config tunes a hunt. The zero value is completed with the defaults
+// below; Seed, Epsilon, and the seed set are the only things a caller
+// must provide.
+type Config struct {
+	// Budget is the number of candidate evaluations the search loop may
+	// spend (default 2000). Minimization evaluations are accounted
+	// separately (Report.MinimizeEvals) so a fixed budget always walks
+	// the same search trajectory regardless of how many finds it has to
+	// minimize.
+	Budget int
+	// BatchSize is how many candidates are scored per ScoreBatch call
+	// (default 64) — the unit of parallelism.
+	BatchSize int
+	// Seed drives all search randomness. Fixed seed + fixed budget ⇒
+	// byte-identical corpus at any worker count.
+	Seed int64
+	// Workers bounds the scoring pool (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Epsilon is the detection threshold the escapes must slip under
+	// (required, > 0).
+	Epsilon float64
+	// MinConfidence is the misprediction confidence floor for a find
+	// (default 0.5): the paper's corner cases are *confidently* wrong
+	// predictions, not borderline ones.
+	MinConfidence float64
+	// NearFactor admits near-escapes: mispredictions whose joint
+	// discrepancy is within NearFactor·ε (default 1.1). 1.0 disables
+	// near-escapes.
+	NearFactor float64
+	// MaxStages bounds composition depth (default 3).
+	MaxStages int
+	// MaxSaved caps the distinct escapes persisted per hunt (default
+	// 64); finds beyond the cap still count toward the rate tables.
+	MaxSaved int
+	// Registry, when non-nil, receives dv_hunt_* counters and gauges.
+	Registry *telemetry.Registry
+	// Log, when non-nil, receives one line per saved escape and periodic
+	// progress.
+	Log io.Writer
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2000
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 0.5
+	}
+	if cfg.NearFactor < 1 {
+		cfg.NearFactor = 1.1
+	}
+	if cfg.MaxStages <= 0 {
+		cfg.MaxStages = 3
+	}
+	if cfg.MaxSaved <= 0 {
+		cfg.MaxSaved = 64
+	}
+}
+
+// queueCap bounds the interesting-candidate queue; once full, new
+// novel candidates overwrite the oldest slots round-robin so the
+// search keeps drifting toward fresh coverage instead of stalling.
+const queueCap = 1024
+
+// eliteCap bounds the exploitation pool: the lowest-joint mispredicting
+// candidates seen so far. Novelty alone drags the search toward
+// out-of-distribution inputs — exactly the ones the detector flags; the
+// elites pull it back toward the escape frontier, mispredictions the
+// validator still scores as in-distribution.
+const eliteCap = 16
+
+// candidate is one queued (seed, chain) pair.
+type candidate struct {
+	seedIdx int
+	chain   Chain
+}
+
+// Hunt runs the coverage-guided search over the given correctly
+// classified seeds (tensors with labels, e.g. from corner.SelectSeeds)
+// and returns the deduplicated escape corpus plus the run report. The
+// validator must carry the fit-time drift reference — its per-layer
+// discrepancy quantiles are the coverage signal; refit without
+// SkipDriftSnapshot if it does not.
+func Hunt(tgt Target, seeds []*tensor.Tensor, labels []int, cfg Config) (*Corpus, *Report, error) {
+	if tgt.Net == nil || tgt.Val == nil {
+		return nil, nil, fmt.Errorf("hunt: target needs both a network and a validator")
+	}
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("hunt: no seed images")
+	}
+	if len(seeds) != len(labels) {
+		return nil, nil, fmt.Errorf("hunt: %d seeds but %d labels", len(seeds), len(labels))
+	}
+	if cfg.Epsilon <= 0 {
+		return nil, nil, fmt.Errorf("hunt: epsilon must be positive (calibrate the detector or pass -eps)")
+	}
+	if !tgt.Val.HasDriftReference() {
+		return nil, nil, fmt.Errorf("hunt: validator carries no drift reference — the coverage signal; refit it (dvvalidate fit records one by default)")
+	}
+	for i, s := range seeds {
+		if s.Rank() != 3 {
+			return nil, nil, fmt.Errorf("hunt: seed %d has shape %v, want (C,H,W)", i, s.Shape)
+		}
+	}
+	cfg.setDefaults()
+
+	shape := seeds[0].Shape
+	spaces := corner.Spaces(shape[0] == 1, shape[1], shape[2])
+	cov := NewCoverage(tgt.Val.DriftQuantiles)
+	if cov == nil {
+		return nil, nil, fmt.Errorf("hunt: malformed drift reference (%d quantile rows)", len(tgt.Val.DriftQuantiles))
+	}
+	mut := &Mutator{Spaces: spaces, MaxStages: cfg.MaxStages}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tel := newHuntTelemetry(cfg.Registry)
+
+	corpus := &Corpus{}
+	report := &Report{
+		Seed:          cfg.Seed,
+		Budget:        cfg.Budget,
+		Epsilon:       cfg.Epsilon,
+		MinConfidence: cfg.MinConfidence,
+		NearFactor:    cfg.NearFactor,
+	}
+	famStats := map[string]*FamilyStats{}
+	stat := func(families string) *FamilyStats {
+		fs, ok := famStats[families]
+		if !ok {
+			fs = &FamilyStats{Families: families}
+			famStats[families] = fs
+		}
+		return fs
+	}
+
+	// isEscape/isNear classify one scoring result against a seed label.
+	isFind := func(label int, res core.Result, bound float64) bool {
+		return !res.NonFinite && res.Label != label &&
+			res.Confidence >= cfg.MinConfidence && res.Joint < bound
+	}
+
+	var queue []candidate
+	queueNext := 0 // round-robin parent cursor and overwrite cursor
+	pushQueue := func(c candidate) {
+		if len(queue) < queueCap {
+			queue = append(queue, c)
+			return
+		}
+		queue[queueNext%len(queue)] = c
+	}
+
+	// elites: sorted ascending by joint, ties by chain key so the pool's
+	// contents never depend on arrival order races (there are none — the
+	// loop is single-threaded — but the tiebreak keeps the invariant
+	// explicit).
+	type elite struct {
+		cand  candidate
+		joint float64
+	}
+	var elites []elite
+	eliteNext := 0
+	pushElite := func(c candidate, joint float64) {
+		at := sort.Search(len(elites), func(i int) bool {
+			if elites[i].joint != joint {
+				return elites[i].joint > joint
+			}
+			return elites[i].cand.chain.Key() > c.chain.Key()
+		})
+		if at == len(elites) && len(elites) >= eliteCap {
+			return
+		}
+		elites = append(elites, elite{})
+		copy(elites[at+1:], elites[at:])
+		elites[at] = elite{c, joint}
+		if len(elites) > eliteCap {
+			elites = elites[:eliteCap]
+		}
+	}
+
+	// nextBatch assembles up to n candidates: the family-coverage
+	// bootstrap first (one random draw per family per seed, the analogue
+	// of a fuzzer's seed corpus), then mutations of queued parents.
+	bootstrap := make([]candidate, 0, len(spaces)*len(seeds))
+	for _, sp := range spaces {
+		for si := range seeds {
+			bootstrap = append(bootstrap, candidate{si, mut.RandomInFamily(sp, rng)})
+		}
+	}
+	bootNext := 0
+	drawCount := 0
+	nextBatch := func(n int) []candidate {
+		batch := make([]candidate, 0, n)
+		for len(batch) < n && bootNext < len(bootstrap) {
+			batch = append(batch, bootstrap[bootNext])
+			bootNext++
+		}
+		for len(batch) < n {
+			drawCount++
+			// Alternate exploitation (mutate a low-joint misprediction)
+			// with exploration (mutate a coverage-novel parent).
+			if len(elites) > 0 && (drawCount%2 == 0 || len(queue) == 0) {
+				parent := elites[eliteNext%len(elites)].cand
+				eliteNext++
+				batch = append(batch, candidate{parent.seedIdx, mut.Mutate(parent.chain, rng)})
+				continue
+			}
+			if len(queue) == 0 {
+				// Coverage found nothing interesting yet: keep drawing
+				// fresh random candidates.
+				batch = append(batch, candidate{rng.Intn(len(seeds)), mut.Random(rng)})
+				continue
+			}
+			parent := queue[queueNext%len(queue)]
+			queueNext++
+			batch = append(batch, candidate{parent.seedIdx, mut.Mutate(parent.chain, rng)})
+		}
+		return batch
+	}
+
+	for report.Evals < cfg.Budget {
+		n := cfg.BatchSize
+		if left := cfg.Budget - report.Evals; n > left {
+			n = left
+		}
+		batch := nextBatch(n)
+		imgs := make([]*tensor.Tensor, len(batch))
+		for i, c := range batch {
+			tr, err := c.chain.Materialize(spaces)
+			if err != nil {
+				// Mutator output always materializes; treat failure as the
+				// programming error it is.
+				return nil, nil, err
+			}
+			imgs[i] = tr.Apply(seeds[c.seedIdx])
+		}
+		results := tgt.Val.ScoreBatchWorkers(tgt.Net, imgs, cfg.Workers)
+
+		// Process in input order — the only order-sensitive section, so
+		// the worker count cannot influence the search trajectory.
+		for i, res := range results {
+			c := batch[i]
+			report.Evals++
+			tel.evals.Inc()
+			fs := stat(c.chain.FamilyKey())
+			fs.Evals++
+			tel.familyEvals(fs.Families).Inc()
+
+			if cov.Observe(res.Label, res.Layer) {
+				pushQueue(candidate{c.seedIdx, c.chain})
+			}
+
+			seedLabel := labels[c.seedIdx]
+			if !res.NonFinite && res.Label != seedLabel {
+				pushElite(candidate{c.seedIdx, c.chain}, res.Joint)
+			}
+			nearBound := cfg.NearFactor * cfg.Epsilon
+			if !isFind(seedLabel, res, nearBound) {
+				continue
+			}
+			full := res.Joint < cfg.Epsilon
+			if full {
+				report.Escapes++
+				fs.Escapes++
+				tel.escapes.Inc()
+				tel.familyEscapes(fs.Families).Inc()
+			} else {
+				report.NearEscapes++
+				fs.Near++
+				tel.nearEscapes.Inc()
+			}
+			if corpus.Len() >= cfg.MaxSaved {
+				continue
+			}
+			// Minimize under the bound that admitted the find, then
+			// re-classify: shrinking often turns a near-escape into a full
+			// one (or vice versa), and the recorded verdict must match the
+			// minimized chain.
+			minChain, minRes, spent := Minimize(tgt, seeds[c.seedIdx], c.chain, spaces,
+				func(r core.Result) bool { return isFind(seedLabel, r, nearBound) })
+			report.MinimizeEvals += spent
+			tel.minimizeEvals.Add(int64(spent))
+			tr, err := minChain.Materialize(spaces)
+			if err != nil {
+				return nil, nil, err
+			}
+			seed := seeds[c.seedIdx]
+			esc := &Escape{
+				ModelName:         tgt.Net.ModelName,
+				SeedShape:         append([]int(nil), seed.Shape...),
+				SeedData:          append([]float64(nil), seed.Data...),
+				SeedLabel:         seedLabel,
+				Chain:             minChain,
+				TransformedSHA256: TensorSHA256(tr.Apply(seed)),
+				Pred:              minRes.Label,
+				Confidence:        minRes.Confidence,
+				Joint:             minRes.Joint,
+				Epsilon:           cfg.Epsilon,
+				Near:              !(minRes.Joint < cfg.Epsilon),
+			}
+			added, err := corpus.Add(esc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if added {
+				report.Saved++
+				tel.saved.Inc()
+				if cfg.Log != nil {
+					kind := "escape"
+					if esc.Near {
+						kind = "near-escape"
+					}
+					fmt.Fprintf(cfg.Log, "hunt: %s seed=%d label=%d pred=%d conf=%.3f joint=%.6g eps=%.6g chain=%s\n",
+						kind, c.seedIdx, esc.SeedLabel, esc.Pred, esc.Confidence, esc.Joint, cfg.Epsilon, minChain.Describe(spaces))
+				}
+			}
+		}
+		sig := cov.Signatures()
+		hit, total := cov.Bins()
+		tel.signatures.Set(float64(sig))
+		tel.bins.Set(float64(hit))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "hunt: %d/%d evals, %d escapes, %d near, %d saved, %d signatures, %d/%d bins, queue %d\n",
+				report.Evals, cfg.Budget, report.Escapes, report.NearEscapes, report.Saved, sig, hit, total, len(queue))
+		}
+	}
+
+	report.Signatures = cov.Signatures()
+	report.BinsHit, report.BinsTotal = cov.Bins()
+	for _, fs := range famStats {
+		report.Rows = append(report.Rows, *fs)
+	}
+	report.sortRows()
+	return corpus, report, nil
+}

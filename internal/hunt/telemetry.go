@@ -1,0 +1,64 @@
+package hunt
+
+import "deepvalidation/internal/telemetry"
+
+// Metric names for the hunt instruments (naming per
+// internal/core/telemetry.go: dv_ prefix, _total for counters).
+const (
+	// MetricEvals counts candidate evaluations spent by the search loop;
+	// MetricMinimizeEvals the extra evaluations spent minimizing finds.
+	MetricEvals         = "dv_hunt_evals_total"
+	MetricMinimizeEvals = "dv_hunt_minimize_evals_total"
+	// MetricEscapes / MetricNearEscapes count finds before
+	// deduplication; MetricSaved counts distinct escapes admitted to the
+	// corpus.
+	MetricEscapes     = "dv_hunt_escapes_total"
+	MetricNearEscapes = "dv_hunt_near_escapes_total"
+	MetricSaved       = "dv_hunt_saved_total"
+	// MetricCoverageSignatures gauges the distinct (label, quantile-bin
+	// vector) coverage signatures reached so far; MetricCoverageBins the
+	// per-layer quantile bins hit at least once.
+	MetricCoverageSignatures = "dv_hunt_coverage_signatures"
+	MetricCoverageBins       = "dv_hunt_coverage_bins"
+	// MetricFamilyEvals / MetricFamilyEscapes are labeled by the
+	// composition signature (families="rotation+blur") and feed the
+	// per-family escape-rate tables.
+	MetricFamilyEvals   = "dv_hunt_family_evals_total"
+	MetricFamilyEscapes = "dv_hunt_family_escapes_total"
+)
+
+// huntTelemetry resolves the unlabeled instrument handles once; every
+// handle is nil (and every observation a no-op) when the registry is
+// nil, matching the repo-wide nil-safe telemetry discipline.
+type huntTelemetry struct {
+	reg           *telemetry.Registry
+	evals         *telemetry.Counter
+	minimizeEvals *telemetry.Counter
+	escapes       *telemetry.Counter
+	nearEscapes   *telemetry.Counter
+	saved         *telemetry.Counter
+	signatures    *telemetry.Gauge
+	bins          *telemetry.Gauge
+}
+
+func newHuntTelemetry(reg *telemetry.Registry) huntTelemetry {
+	return huntTelemetry{
+		reg:           reg,
+		evals:         reg.Counter(MetricEvals),
+		minimizeEvals: reg.Counter(MetricMinimizeEvals),
+		escapes:       reg.Counter(MetricEscapes),
+		nearEscapes:   reg.Counter(MetricNearEscapes),
+		saved:         reg.Counter(MetricSaved),
+		signatures:    reg.Gauge(MetricCoverageSignatures),
+		bins:          reg.Gauge(MetricCoverageBins),
+	}
+}
+
+// familyEvals resolves the labeled per-composition counter; nil-safe.
+func (t huntTelemetry) familyEvals(families string) *telemetry.Counter {
+	return t.reg.Counter(telemetry.Label(MetricFamilyEvals, "families", families))
+}
+
+func (t huntTelemetry) familyEscapes(families string) *telemetry.Counter {
+	return t.reg.Counter(telemetry.Label(MetricFamilyEscapes, "families", families))
+}

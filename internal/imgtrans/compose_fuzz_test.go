@@ -1,0 +1,74 @@
+package imgtrans_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"deepvalidation/internal/corner"
+	"deepvalidation/internal/imgtrans"
+	"deepvalidation/internal/tensor"
+)
+
+// FuzzTransformCompose drives arbitrary transformation compositions —
+// the same genome space the corner-case miner searches — with
+// adversarial parameters. The contract every composition must hold on a
+// well-formed [0,1] image: finite output, pixels clamped back into
+// [0,1], shape preserved, input untouched. Raw float bits go through
+// Space.Clamp exactly as a mined corpus chain would, so NaN, ±Inf, and
+// out-of-range parameters (a zero scale ratio, a 10^18-pixel shift) all
+// land on well-defined transforms instead of panicking.
+func FuzzTransformCompose(f *testing.F) {
+	f.Add([]byte{0}, uint8(1))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(3))
+	f.Add([]byte{4, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 7, 1, 2}, uint8(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, pix uint8) {
+		spaces := corner.Spaces(true, 8, 8)
+		// Deterministic input image derived from one fuzzed byte.
+		img := tensor.New(1, 8, 8)
+		for i := range img.Data {
+			img.Data[i] = float64((int(pix)+i*7)%256) / 255
+		}
+		before := append([]float64(nil), img.Data...)
+
+		// Decode up to three stages: one family byte, then one raw
+		// float64 per parameter (clamped by the family's space).
+		var chain imgtrans.Chain
+		for len(data) > 0 && len(chain) < 3 {
+			sp := spaces[int(data[0])%len(spaces)]
+			data = data[1:]
+			params := make([]float64, len(sp.Params))
+			for i := range params {
+				var raw uint64
+				if len(data) >= 8 {
+					raw = binary.LittleEndian.Uint64(data[:8])
+					data = data[8:]
+				} else if len(data) > 0 {
+					raw = uint64(data[0])
+					data = data[1:]
+				}
+				params[i] = math.Float64frombits(raw)
+			}
+			chain = append(chain, sp.Make(sp.Clamp(params)))
+		}
+
+		out := chain.Apply(img)
+		if len(out.Shape) != 3 || out.Shape[0] != 1 || out.Shape[1] != 8 || out.Shape[2] != 8 {
+			t.Fatalf("composition changed shape: %v", out.Shape)
+		}
+		for i, v := range out.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("pixel %d is non-finite (%v) after %s", i, v, chain.Describe())
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %d = %v outside [0,1] after %s", i, v, chain.Describe())
+			}
+		}
+		for i, v := range img.Data {
+			if v != before[i] {
+				t.Fatalf("composition mutated its input at pixel %d", i)
+			}
+		}
+	})
+}

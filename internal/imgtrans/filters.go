@@ -25,7 +25,10 @@ func (t GaussianBlur) Describe() string { return fmt.Sprintf("blur(σ=%.2f)", t.
 
 // Apply implements Transform.
 func (t GaussianBlur) Apply(img *tensor.Tensor) *tensor.Tensor {
-	if t.Sigma <= 0 {
+	// !(σ > 0) also catches NaN. A σ so small that 2σ² underflows to
+	// zero would poison the kernel with exp(-0/0) = NaN; its true kernel
+	// is a delta, so treat it as the identity it effectively is.
+	if !(t.Sigma > 0) || 2*t.Sigma*t.Sigma == 0 {
 		return img.Clone()
 	}
 	radius := int(math.Ceil(3 * t.Sigma))

@@ -225,6 +225,50 @@ func (t Compose) Apply(img *tensor.Tensor) *tensor.Tensor {
 	return t.Second.Apply(t.First.Apply(img))
 }
 
+// Chain applies a sequence of transformations left to right — the
+// N-ary generalization of Compose that the corner-case miner's
+// composition search builds its candidates from. An empty chain is the
+// identity.
+type Chain []Transform
+
+// Name implements Transform: the "+"-joined family names, the key the
+// escape-rate tables group compositions by.
+func (c Chain) Name() string {
+	if len(c) == 0 {
+		return "identity"
+	}
+	s := c[0].Name()
+	for _, t := range c[1:] {
+		s += "+" + t.Name()
+	}
+	return s
+}
+
+// Describe implements Transform, rendering each stage in application
+// order.
+func (c Chain) Describe() string {
+	if len(c) == 0 {
+		return "identity"
+	}
+	s := c[0].Describe()
+	for _, t := range c[1:] {
+		s += " ∘ " + t.Describe()
+	}
+	return s
+}
+
+// Apply implements Transform; stages run in slice order.
+func (c Chain) Apply(img *tensor.Tensor) *tensor.Tensor {
+	if len(c) == 0 {
+		return img.Clone()
+	}
+	out := c[0].Apply(img)
+	for _, t := range c[1:] {
+		out = t.Apply(out)
+	}
+	return out
+}
+
 // Identity returns the input unchanged; it anchors parameter sweeps.
 type Identity struct{}
 
@@ -244,5 +288,6 @@ var (
 	_ Transform = Complement{}
 	_ Transform = Affine{}
 	_ Transform = Compose{}
+	_ Transform = Chain{}
 	_ Transform = Identity{}
 )
