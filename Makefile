@@ -26,15 +26,19 @@ race:
 # chaos pass (artifact corruption, crash-safe saves, reload
 # degradation and recovery), the tracing pass (span trees, flight
 # recorder triage, drift gauges, legacy drift degradation — against a
-# race-built dvserve), and the hunt pass (train → coverage-guided
+# race-built dvserve), the hunt pass (train → coverage-guided
 # mine → byte-identical corpora across -workers → strict replay →
-# dvreport escape-rate table → committed-corpus regression test).
+# dvreport escape-rate table → committed-corpus regression test), and
+# the obs pass (wide-event log + rotation, dv_runtime_*/dv_slo_*
+# gauges, forced 429 burn to a cross-linked SLO breach event — against
+# a race-built dvserve).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
 	./scripts/chaos_smoke.sh
 	./scripts/trace_smoke.sh
 	./scripts/hunt_smoke.sh
+	./scripts/obs_smoke.sh
 
 # check is the CI gate: full build + tests, vet, the race pass, and the
 # telemetry smoke run.
@@ -56,5 +60,6 @@ fuzz:
 # micro-batcher (the serve pass merges into the file, so order matters).
 snapshot:
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchPipelineSnapshot -count=1 -v .
-	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchServeSnapshot -count=1 -v ./internal/serve
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run 'TestBenchServeSnapshot$$' -count=1 -v ./internal/serve
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchServeWorkersSnapshot -count=1 -v ./internal/serve
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchTraceSnapshot -count=1 -v ./internal/serve

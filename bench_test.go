@@ -213,12 +213,14 @@ func BenchmarkDetectorBuild(b *testing.B) {
 }
 
 // benchWorkerCounts returns the worker counts the pipeline benchmarks
-// sweep: the sequential baseline, a mid pool, and GOMAXPROCS, deduped
-// and ascending. On single-core machines the >1 entries measure pool
-// overhead rather than speedup.
+// sweep: the sequential baseline, the 2- and 4-wide pools (so the
+// committed snapshot records the multicore scaling curve, not just its
+// endpoints), and GOMAXPROCS when it exceeds 4, deduped and ascending.
+// On single-core machines the >1 entries measure pool overhead rather
+// than speedup.
 func benchWorkerCounts() []int {
 	counts := []int{1}
-	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
 		if w > counts[len(counts)-1] {
 			counts = append(counts, w)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/experiment"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 )
 
@@ -47,12 +48,18 @@ func run() error {
 		addr     = flag.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. ":9090" or "127.0.0.1:0"; empty disables)`)
 		linger   = flag.Duration("metrics-linger", 0, "keep the metrics endpoint serving this long after the run finishes (for scrapers)")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	var reg *telemetry.Registry
 	if *telFlag || *addr != "" {
 		reg = telemetry.New()
 	}
+	events, err := logOpts.Build(reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
 	if *addr != "" {
 		bound, stop, err := telemetry.Serve(*addr, reg)
 		if err != nil {
@@ -107,7 +114,16 @@ func run() error {
 		todo = strings.Split(*exp, ",")
 	}
 	for _, id := range todo {
-		if err := runOne(lab, strings.TrimSpace(id), names, *outDir, render); err != nil {
+		id = strings.TrimSpace(id)
+		events.Emit(obs.Event{
+			Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "experiment starting",
+			Extra: map[string]any{"experiment": id, "scale": *scale},
+		})
+		if err := runOne(lab, id, names, *outDir, render); err != nil {
+			events.Emit(obs.Event{
+				Type: obs.TypeLifecycle, Level: obs.LevelError, Msg: "experiment failed",
+				Err: err.Error(), Extra: map[string]any{"experiment": id},
+			})
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}

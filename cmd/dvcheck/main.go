@@ -18,6 +18,7 @@ import (
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 )
 
 func main() {
@@ -36,10 +37,16 @@ func run() (int, error) {
 		eps       = flag.Float64("eps", 0, "detection threshold ε (see dvvalidate score or examples/threshold_tuning)")
 		verbose   = flag.Bool("v", false, "print per-layer discrepancies")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		return 0, fmt.Errorf("no image files given (want PGM/PPM paths as arguments)")
 	}
+	events, err := logOpts.Build(nil)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = events.Close() }()
 
 	net, err := nn.Load(*modelPath)
 	if err != nil {
@@ -76,6 +83,19 @@ func run() (int, error) {
 		}
 		fmt.Printf("%s: class %d (confidence %.3f), discrepancy %+.4f [%s]\n",
 			path, v.Label, v.Confidence, v.Discrepancy, status)
+		lvl, outcome := obs.LevelInfo, "ok"
+		if !v.Valid {
+			lvl = obs.LevelWarn
+		}
+		if v.Quarantined {
+			outcome = "quarantined"
+		}
+		events.Emit(obs.Event{
+			Type: obs.TypeRequest, Level: lvl, Endpoint: "dvcheck",
+			Outcome: outcome,
+			Class:   v.Label, Valid: v.Valid, Joint: v.Discrepancy,
+			Extra: map[string]any{"path": path},
+		})
 		if *verbose {
 			for p, d := range res.Layer {
 				fmt.Printf("  layer %d: d = %+.4f\n", val.LayerIdx[p]+1, d)

@@ -15,6 +15,7 @@ import (
 	"deepvalidation/internal/corner"
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,13 @@ func run() error {
 		seedSeed  = flag.Int64("seed", 7, "seed-selection randomness")
 		imgDir    = flag.String("img-dir", "", "directory for example corner-case images (empty = skip)")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+	events, err := logOpts.Build(nil)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
 
 	net, err := nn.Load(*modelPath)
 	if err != nil {
@@ -52,6 +59,10 @@ func run() error {
 	}
 
 	fmt.Printf("searching %d transformation families over %d seeds\n", len(corner.Families(ds.InC == 1)), len(seedX))
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "corner-case search starting",
+		Extra: map[string]any{"families": len(corner.Families(ds.InC == 1)), "seeds": len(seedX)},
+	})
 	results := corner.Search(net, seedX, seedY, corner.Families(ds.InC == 1))
 
 	fmt.Printf("%-12s  %-34s  %-12s  %s\n", "Family", "Configuration", "Success Rate", "Mean Wrong-Prediction Confidence")
@@ -70,6 +81,10 @@ func run() error {
 			"combined", combined.Transform.Describe(), combined.SuccessRate, combined.MeanWrongConfidence)
 		kept = append(kept, corner.SearchResult{Family: "combined", Kept: true, Best: combined})
 	}
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "corner-case search finished",
+		Extra: map[string]any{"families_kept": len(kept)},
+	})
 
 	if *imgDir == "" {
 		return nil

@@ -27,6 +27,7 @@ import (
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/hunt"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 )
 
@@ -63,7 +64,18 @@ func run() error {
 		verbose   = flag.Bool("v", false, "log per-escape finds and per-batch progress")
 		telem     = flag.Bool("telemetry", false, "print the dv_hunt_* metric snapshot after the run")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telem {
+		reg = telemetry.New()
+	}
+	events, err := logOpts.Build(reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
 
 	net, err := nn.Load(*modelPath)
 	if err != nil {
@@ -108,15 +120,16 @@ func run() error {
 		NearFactor:    *near,
 		MaxStages:     *maxStages,
 		MaxSaved:      *maxSaved,
+		Registry:      reg,
+		Events:        events,
 	}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
-	var reg *telemetry.Registry
-	if *telem {
-		reg = telemetry.New()
-		cfg.Registry = reg
-	}
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "hunt starting",
+		Extra: map[string]any{"seeds": len(seedX), "epsilon": epsilon, "budget": *budget, "seed": *seed},
+	})
 	corpus, report, err := hunt.Hunt(tgt, seedX, seedY, cfg)
 	if err != nil {
 		return err
@@ -134,6 +147,10 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %d escapes to %s\n", corpus.Len(), *outDir)
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "hunt finished",
+		Extra: map[string]any{"escapes": corpus.Len(), "out": *outDir},
+	})
 	if reg != nil {
 		// Raw exposition text rather than core.TelemetrySummary: the
 		// interesting instruments here are the dv_hunt_* family, which the

@@ -26,6 +26,7 @@ import (
 
 	"deepvalidation/internal/experiment"
 	"deepvalidation/internal/hunt"
+	"deepvalidation/internal/obs"
 )
 
 func main() {
@@ -46,7 +47,17 @@ func run() error {
 		scenarios = flag.String("datasets", "", "comma-separated scenario subset (default all)")
 		huntDir   = flag.String("hunt", "", "dvhunt corpus directory: append its escape-rate table (e.g. testdata/escapes)")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+	events, err := logOpts.Build(nil)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "report render starting",
+		Extra: map[string]any{"scale": *scale, "cache": *cacheDir, "out": *outPath},
+	})
 
 	var sc experiment.Scale
 	switch *scale {

@@ -26,6 +26,16 @@
 // (-flight sizes it); GET /debug/dv/drift and the dv_drift_* metrics
 // compare live per-layer discrepancy quantiles against the fit-time
 // reference persisted in the validator (-drift-window, -drift-threshold).
+//
+// Wide events and SLOs: -log/-log-file emit one structured NDJSON
+// event per request outcome, reload, drift-alarm transition, and SLO
+// breach (GET /debug/dv/events serves the in-memory ring); -slo turns
+// on the multi-window burn-rate engine over availability, latency, and
+// quarantine-rate objectives (GET /debug/dv/slo, dv_slo_* metrics, and
+// a machine-parseable summary on /readyz). The Go runtime's own health
+// (heap, GC pauses, goroutines, scheduling latency) is collected into
+// dv_runtime_* alongside a dv_build_info series pinning the binary and
+// artifact checksums.
 package main
 
 import (
@@ -42,6 +52,8 @@ import (
 	"time"
 
 	"deepvalidation"
+	"deepvalidation/internal/artifact"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/serve"
 	"deepvalidation/internal/telemetry"
 )
@@ -87,7 +99,16 @@ func run() error {
 		flightSize  = flag.Int("flight", 256, "flight recorder size for /debug/dv/flight (0 disables)")
 		driftWindow = flag.Int("drift-window", 512, "drift-watch sliding window over accepted verdicts (0 disables)")
 		driftThresh = flag.Float64("drift-threshold", 0.5, "per-layer quantile-shift score that raises dv_drift_alarm")
+
+		sloOn       = flag.Bool("slo", false, "evaluate SLO burn rates (/debug/dv/slo, dv_slo_* metrics, breach events)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability objective: goal fraction of requests not shed or expired")
+		sloLatTgt   = flag.Duration("slo-latency-target", 250*time.Millisecond, "latency objective target for /v1/check")
+		sloLatGoal  = flag.Float64("slo-latency-goal", 0.99, "latency objective: goal fraction of checks under -slo-latency-target")
+		sloQuarGoal = flag.Float64("slo-quarantine-goal", 0.999, "quarantine objective: goal fraction of verdicts not quarantined")
+		sloInterval = flag.Duration("slo-interval", 0, "burn-rate evaluation cadence (0: the engine default)")
+		sloBurn     = flag.Float64("slo-burn", 0, "burn-rate breach threshold sustained on every window (0: the engine default 14.4)")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	load := func() (*deepvalidation.Detector, error) {
@@ -106,8 +127,31 @@ func run() error {
 	handle := deepvalidation.NewHandle(det)
 
 	var reg *telemetry.Registry
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *sloOn {
+		// The SLO engine differences counters out of the registry, so
+		// enabling it forces collection even without a metrics listener.
 		reg = telemetry.New()
+	}
+	events, err := logOpts.Build(reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
+
+	// The runtime collector publishes dv_runtime_* and a dv_build_info
+	// series pinning the artifact checksums actually loaded.
+	var rt *obs.Runtime
+	if reg != nil {
+		info := map[string]string{}
+		if h, err := artifact.ReadHeader(*modelPath); err == nil {
+			info["model_sha256"] = h.Header.PayloadSHA256
+		}
+		if h, err := artifact.ReadHeader(*valPath); err == nil {
+			info["validator_sha256"] = h.Header.PayloadSHA256
+		}
+		rt = obs.NewRuntime(reg, info)
+		rt.Start(0)
+		defer rt.Stop()
 	}
 	batchWindow := *window
 	if batchWindow <= 0 {
@@ -144,6 +188,17 @@ func run() error {
 		FlightSize:     flight,
 		DriftWindow:    drift,
 		DriftThreshold: *driftThresh,
+
+		Events: events,
+		SLO: serve.SLOOptions{
+			Enabled:        *sloOn,
+			Availability:   *sloAvail,
+			LatencyTarget:  *sloLatTgt,
+			LatencyGoal:    *sloLatGoal,
+			QuarantineGoal: *sloQuarGoal,
+			Interval:       *sloInterval,
+			Burn:           *sloBurn,
+		},
 	})
 	if err != nil {
 		return err
@@ -165,7 +220,7 @@ func run() error {
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz, /debug/dv/{trace,flight,drift} on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz, /debug/dv/{trace,flight,drift,events,slo} on http://%s\n", ln.Addr())
 	fmt.Fprintf(os.Stderr, "dvserve: ready (eps %.4f, max-batch %d, batch-window %v, queue-depth %d, dispatch-workers %d, trace-sample %g, drift %s)\n",
 		det.Epsilon(), *maxBatch, *window, *queueDepth, *dispatchers, *traceSample, driftMode(srv))
 
@@ -193,6 +248,11 @@ func run() error {
 				continue
 			}
 			fmt.Fprintf(os.Stderr, "dvserve: %v — draining (budget %v)\n", sig, *drainT)
+			events.Emit(obs.Event{
+				Type: obs.TypeLifecycle, Level: obs.LevelInfo,
+				Msg:   "draining on signal",
+				Extra: map[string]any{"signal": sig.String(), "budget": drainT.String()},
+			})
 			ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 			err := srv.Drain(ctx, hs)
 			cancel()

@@ -15,6 +15,7 @@ import (
 
 	"deepvalidation/internal/dataset"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/opt"
 )
 
@@ -43,7 +44,17 @@ func run() error {
 		out    = flag.String("out", "model.gob", "output model path")
 		quiet  = flag.Bool("quiet", false, "suppress per-epoch progress")
 	)
+	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+	events, err := logOpts.Build(nil)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "dvtrain starting",
+		Extra: map[string]any{"dataset": *dsName, "epochs": *epochs, "seed": *seed, "out": *out},
+	})
 
 	ds, err := dataset.ByName(*dsName, dataset.Config{TrainN: *trainN, TestN: *testN, Seed: *dsSeed})
 	if err != nil {
@@ -105,5 +116,9 @@ func run() error {
 		return err
 	}
 	fmt.Println("model saved to", *out)
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "dvtrain finished",
+		Extra: map[string]any{"accuracy": acc, "out": *out},
+	})
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"deepvalidation/internal/imgtrans"
 	"deepvalidation/internal/metrics"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/tensor"
 )
@@ -117,10 +118,16 @@ func runFit(args []string) error {
 		out       = fs.String("out", "validator.gob", "output validator path")
 		tf        = addTelemetryFlags(fs)
 	)
+	logOpts := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg := tf.registry()
+	events, err := logOpts.Build(reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
 	finish, err := tf.serve(reg)
 	if err != nil {
 		return err
@@ -143,6 +150,10 @@ func runFit(args []string) error {
 	}
 
 	fmt.Printf("fitting validator: %d classes, layers %v\n", net.Classes, layersOrAll(cfg.Layers))
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "validator fit starting",
+		Extra: map[string]any{"dataset": *dsName, "classes": net.Classes, "nu": *nu, "out": *out},
+	})
 	val, err := core.Fit(net, ds.TrainX, ds.TrainY, cfg)
 	if err != nil {
 		return err
@@ -161,6 +172,10 @@ func runFit(args []string) error {
 		return err
 	}
 	fmt.Println("validator saved to", *out)
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "validator fit finished",
+		Extra: map[string]any{"svms": total, "layers": len(val.LayerIdx), "out": *out},
+	})
 	return nil
 }
 
@@ -178,10 +193,16 @@ func runScore(args []string) error {
 		workers   = fs.Int("workers", 0, "scoring worker bound (0 = GOMAXPROCS, 1 = sequential; verdicts are identical)")
 		tf        = addTelemetryFlags(fs)
 	)
+	logOpts := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg := tf.registry()
+	events, err := logOpts.Build(reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = events.Close() }()
 	finish, err := tf.serve(reg)
 	if err != nil {
 		return err
@@ -212,6 +233,10 @@ func runScore(args []string) error {
 	}
 	eps := mon.CalibrateEpsilon(ds.TestX, *fpr)
 	fmt.Printf("calibrated ε = %.4f at FPR ≤ %.3f on %d clean test images\n", eps, *fpr, len(ds.TestX))
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "epsilon calibrated",
+		Extra: map[string]any{"epsilon": eps, "fpr": *fpr, "test_n": len(ds.TestX)},
+	})
 
 	// Clean pass, batched across the worker pool.
 	cleanValid := 0
@@ -246,6 +271,13 @@ func runScore(args []string) error {
 	fmt.Printf("after %s: model wrong on %d/%d; detector flagged %d/%d, catching %d/%d errors\n",
 		tr.Describe(), wrong, len(ds.TestX), flagged, len(ds.TestX), wrongCaught, wrong)
 	fmt.Printf("mean discrepancy on transformed inputs: %.4f (ε = %.4f)\n", metrics.Mean(discrepancies), eps)
+	events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "score run finished",
+		Extra: map[string]any{
+			"transform": tr.Describe(), "flagged": flagged,
+			"wrong": wrong, "wrong_caught": wrongCaught,
+		},
+	})
 	return nil
 }
 

@@ -2,13 +2,16 @@ package deepvalidation
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/nn"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/opt"
 	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/tensor"
@@ -227,6 +230,52 @@ func (d *Detector) attachTelemetry(r *telemetry.Registry) {
 // countInvalid records one rejected input; a no-op until Telemetry has
 // been called.
 func (d *Detector) countInvalid() { d.invalid.Load().Inc() }
+
+// AttachEvents mirrors every quarantined verdict into the wide-event
+// log: each one becomes a TypeQuarantine event carrying the predicted
+// class, the (finite-terms) joint discrepancy, and the per-layer
+// breakdown. Unlike AttachTelemetry this may be called repeatedly —
+// on a hot reload the replacement detector is attached to the same
+// logger — and a nil logger detaches. The valid-verdict hot path pays
+// only one atomic load either way.
+func (d *Detector) AttachEvents(log *obs.Logger) {
+	if log == nil {
+		d.mon.SetQuarantineHook(nil)
+		return
+	}
+	layers := d.val.LayerIdx
+	d.mon.SetQuarantineHook(func(v core.Verdict, res core.Result) {
+		e := obs.Event{
+			Type:    obs.TypeQuarantine,
+			Level:   obs.LevelWarn,
+			Msg:     "verdict quarantined: non-finite numerics during scoring",
+			Outcome: "quarantined",
+			Class:   v.Label,
+			Joint:   v.Discrepancy,
+			Layers:  layers,
+		}
+		// The per-layer discrepancies usually include the NaN/Inf that
+		// caused the quarantine; JSON cannot carry those, so non-finite
+		// vectors ride along as strings instead.
+		finite := true
+		for _, x := range res.Layer {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				finite = false
+				break
+			}
+		}
+		if finite {
+			e.PerLayer = res.Layer
+		} else {
+			raw := make([]string, len(res.Layer))
+			for i, x := range res.Layer {
+				raw[i] = strconv.FormatFloat(x, 'g', -1, 64)
+			}
+			e.Extra = map[string]any{"per_layer_raw": raw}
+		}
+		log.Emit(e)
+	})
+}
 
 // Calibrate sets the detection threshold ε so that at most fpr of the
 // given clean images is flagged, and returns the chosen ε. Run it once

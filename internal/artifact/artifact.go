@@ -233,14 +233,25 @@ func WriteFile(path string, h Header, payload []byte) (err error) {
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("artifact: publishing %s: %w", path, err)
 	}
-	syncDir(dir)
+	SyncDir(dir)
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename survives power loss. Errors
-// are ignored: some filesystems (and all of Windows) reject directory
-// fsync, and the rename itself has already succeeded.
-func syncDir(dir string) {
+// ReadHeader reads and verifies an artifact and returns only its
+// container header — the cheap way to get identity metadata (model
+// name, payload checksum) without decoding the gob payload. Legacy
+// bare-gob files return Info{Legacy: true} with a zero header.
+func ReadHeader(path string) (Info, error) {
+	info, _, err := ReadFile(path)
+	return info, err
+}
+
+// SyncDir fsyncs a directory so a just-published rename survives power
+// loss. Errors are ignored: some filesystems (and all of Windows)
+// reject directory fsync, and the rename itself has already succeeded.
+// Exported for other subsystems (the obs log rotation) that follow the
+// same rename-then-sync discipline.
+func SyncDir(dir string) {
 	d, err := os.Open(dir)
 	if err != nil {
 		return

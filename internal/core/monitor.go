@@ -34,6 +34,29 @@ type Monitor struct {
 	// tel holds the attached telemetry handles (nil when detached);
 	// read atomically so Check never takes the stats lock for it.
 	tel atomic.Pointer[monTelemetry]
+
+	// quarHook, when set, receives every quarantined verdict. It is
+	// consulted only on the quarantine branch, so the valid-verdict hot
+	// path never pays for it.
+	quarHook atomic.Pointer[QuarantineHook]
+}
+
+// QuarantineHook observes one quarantined verdict together with its
+// raw scoring result (whose per-layer values may be non-finite — that
+// is why it was quarantined). Hooks run on the checking goroutine,
+// outside the monitor's stats lock, and must be safe for concurrent
+// calls.
+type QuarantineHook func(v Verdict, res Result)
+
+// SetQuarantineHook installs (or, with nil, removes) the quarantine
+// observer. The serving layer uses it to emit wide events for
+// numerics-rejected verdicts.
+func (m *Monitor) SetQuarantineHook(h QuarantineHook) {
+	if h == nil {
+		m.quarHook.Store(nil)
+		return
+	}
+	m.quarHook.Store(&h)
 }
 
 // recentWindow sizes the sliding alarm-rate window.
@@ -194,13 +217,19 @@ func (m *Monitor) CheckDetailed(x *tensor.Tensor, tm *ScoreTimings) (Verdict, Re
 		tel.verdictLatency.ObserveSince(t0)
 		tel.observe(res.Label, valid, res.NonFinite)
 	}
-	return Verdict{
+	v := Verdict{
 		Label:       res.Label,
 		Confidence:  res.Confidence,
 		Discrepancy: res.Joint,
 		Valid:       valid,
 		Quarantined: res.NonFinite,
-	}, res
+	}
+	if res.NonFinite {
+		if hp := m.quarHook.Load(); hp != nil {
+			(*hp)(v, res)
+		}
+	}
+	return v, res
 }
 
 // CheckBatch classifies and validates many samples, returning verdicts
@@ -246,6 +275,13 @@ func (m *Monitor) CheckBatchDetailed(xs []*tensor.Tensor, tms []*ScoreTimings) (
 		for _, v := range out {
 			tel.verdictLatency.Observe(perSample)
 			tel.observe(v.Label, v.Valid, v.Quarantined)
+		}
+	}
+	if hp := m.quarHook.Load(); hp != nil {
+		for i, v := range out {
+			if v.Quarantined {
+				(*hp)(v, results[i])
+			}
 		}
 	}
 	return out, results

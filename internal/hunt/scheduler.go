@@ -8,6 +8,7 @@ import (
 
 	"deepvalidation/internal/core"
 	"deepvalidation/internal/corner"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/tensor"
 )
@@ -51,6 +52,9 @@ type Config struct {
 	// Log, when non-nil, receives one line per saved escape and periodic
 	// progress.
 	Log io.Writer
+	// Events, when non-nil, receives one TypeHuntEscape wide event per
+	// escape admitted to the corpus.
+	Events *obs.Logger
 }
 
 func (cfg *Config) setDefaults() {
@@ -320,14 +324,28 @@ func Hunt(tgt Target, seeds []*tensor.Tensor, labels []int, cfg Config) (*Corpus
 			if added {
 				report.Saved++
 				tel.saved.Inc()
+				kind := "escape"
+				if esc.Near {
+					kind = "near-escape"
+				}
 				if cfg.Log != nil {
-					kind := "escape"
-					if esc.Near {
-						kind = "near-escape"
-					}
 					fmt.Fprintf(cfg.Log, "hunt: %s seed=%d label=%d pred=%d conf=%.3f joint=%.6g eps=%.6g chain=%s\n",
 						kind, c.seedIdx, esc.SeedLabel, esc.Pred, esc.Confidence, esc.Joint, cfg.Epsilon, minChain.Describe(spaces))
 				}
+				cfg.Events.Emit(obs.Event{
+					Type:  obs.TypeHuntEscape,
+					Level: obs.LevelWarn,
+					Msg:   fmt.Sprintf("detector %s saved", kind),
+					Class: esc.Pred,
+					Joint: esc.Joint,
+					Extra: map[string]any{
+						"kind":       kind,
+						"seed_label": esc.SeedLabel,
+						"confidence": esc.Confidence,
+						"epsilon":    cfg.Epsilon,
+						"chain":      minChain.Describe(spaces),
+					},
+				})
 			}
 		}
 		sig := cov.Signatures()

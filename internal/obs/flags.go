@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepvalidation/internal/telemetry"
+)
+
+// LogOptions holds the values of the standard logging flags shared by
+// every dv* binary. Register with AddLogFlags, then Build once flags
+// are parsed.
+type LogOptions struct {
+	level string
+	file  string
+	max   int64
+}
+
+// AddLogFlags registers the standard observability flags on fs:
+//
+//	-log LEVEL        minimum event severity (debug|info|warn|error),
+//	                  or "off" to disable event logging entirely
+//	-log-file PATH    mirror events as NDJSON to PATH with atomic
+//	                  size-based rotation; "-" or "stderr" writes to
+//	                  standard error instead
+//	-log-max-bytes N  rotation threshold for -log-file
+func AddLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{}
+	fs.StringVar(&o.level, "log", "info", "minimum wide-event severity (debug|info|warn|error), or off to disable event logging")
+	fs.StringVar(&o.file, "log-file", "", "mirror wide events as NDJSON to this file (atomic size-rotated); - or stderr writes to standard error")
+	fs.Int64Var(&o.max, "log-max-bytes", DefaultMaxLogBytes, "rotate -log-file when it would exceed this many bytes")
+	return o
+}
+
+// Build constructs the Logger the flags describe: a bounded in-memory
+// ring (always, for /debug/dv/events), plus the NDJSON sink requested
+// by -log-file. Returns nil when -log=off; callers treat a nil logger
+// as "events disabled" everywhere. Close the returned logger to flush
+// file sinks.
+func (o *LogOptions) Build(reg *telemetry.Registry) (*Logger, error) {
+	if o == nil || o.level == "off" || o.level == "none" {
+		return nil, nil
+	}
+	min, err := ParseLevel(o.level)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{MinLevel: min, Registry: reg}
+	switch o.file {
+	case "":
+	case "-", "stderr":
+		cfg.Sinks = append(cfg.Sinks, NewWriterSink(os.Stderr))
+	default:
+		sink, err := NewFileSink(o.file, o.max)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -log-file: %w", err)
+		}
+		cfg.Sinks = append(cfg.Sinks, sink)
+	}
+	return New(cfg), nil
+}

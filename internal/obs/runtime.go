@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math"
+	"runtime/debug"
+	runtimemetrics "runtime/metrics"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"deepvalidation/internal/telemetry"
+)
+
+// Metric names published by the runtime collector. All are gauges
+// sampled from runtime/metrics; quantile series carry a q label.
+const (
+	MetricRuntimeGoroutines = "dv_runtime_goroutines"
+	MetricRuntimeGomaxprocs = "dv_runtime_gomaxprocs"
+	MetricRuntimeHeapBytes  = "dv_runtime_heap_bytes"
+	MetricRuntimeTotalBytes = "dv_runtime_memory_total_bytes"
+	MetricRuntimeGCCycles   = "dv_runtime_gc_cycles_total"
+	MetricRuntimeGCPause    = "dv_runtime_gc_pause_seconds"
+	MetricRuntimeSchedLat   = "dv_runtime_sched_latency_seconds"
+	MetricBuildInfo         = "dv_build_info"
+	// DefaultRuntimeInterval is the polling cadence when Start is
+	// called with a non-positive interval.
+	DefaultRuntimeInterval = 10 * time.Second
+)
+
+// runtimeSamples are the runtime/metrics series the collector polls.
+// Names are pinned by the Go runtime's compatibility promise for this
+// package.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// quantiles exported from the runtime's native histograms.
+var runtimeQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Runtime polls runtime/metrics into dv_runtime_* gauges and publishes
+// the dv_build_info gauge. Nil-safe; zero overhead when not started.
+type Runtime struct {
+	reg     *telemetry.Registry
+	samples []runtimemetrics.Sample
+
+	mu      sync.Mutex
+	stopped chan struct{}
+	done    chan struct{}
+}
+
+// NewRuntime builds a collector over reg and immediately publishes
+// dv_build_info with the given extra identity labels (artifact
+// checksums, a version override) merged with the module version and Go
+// toolchain discovered from build info. Returns nil when reg is nil.
+func NewRuntime(reg *telemetry.Registry, info map[string]string) *Runtime {
+	if reg == nil {
+		return nil
+	}
+	r := &Runtime{reg: reg, samples: make([]runtimemetrics.Sample, len(runtimeSamples))}
+	for i, name := range runtimeSamples {
+		r.samples[i].Name = name
+	}
+	publishBuildInfo(reg, info)
+	return r
+}
+
+// publishBuildInfo sets dv_build_info{...} = 1. The value is constant;
+// all information rides in the labels, Prometheus-style.
+func publishBuildInfo(reg *telemetry.Registry, extra map[string]string) {
+	labels := map[string]string{"version": "unknown", "go": "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		labels["go"] = bi.GoVersion
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			labels["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				labels["version"] = s.Value[:12]
+			}
+		}
+	}
+	for k, v := range extra {
+		if v != "" {
+			labels[k] = v
+		}
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kv := make([]string, 0, 2*len(labels))
+	for _, k := range keys {
+		kv = append(kv, k, labels[k])
+	}
+	reg.Gauge(telemetry.Label(MetricBuildInfo, kv...)).Set(1)
+}
+
+// Collect performs one synchronous poll of runtime/metrics into the
+// registry. Start calls it on a ticker; tests and one-shot tools call
+// it directly.
+func (r *Runtime) Collect() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	runtimemetrics.Read(r.samples)
+	for i := range r.samples {
+		s := &r.samples[i]
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			r.setGauge(MetricRuntimeGoroutines, s)
+		case "/sched/gomaxprocs:threads":
+			r.setGauge(MetricRuntimeGomaxprocs, s)
+		case "/memory/classes/heap/objects:bytes":
+			r.setGauge(MetricRuntimeHeapBytes, s)
+		case "/memory/classes/total:bytes":
+			r.setGauge(MetricRuntimeTotalBytes, s)
+		case "/gc/cycles/total:gc-cycles":
+			r.setGauge(MetricRuntimeGCCycles, s)
+		case "/gc/pauses:seconds":
+			r.setQuantiles(MetricRuntimeGCPause, s)
+		case "/sched/latencies:seconds":
+			r.setQuantiles(MetricRuntimeSchedLat, s)
+		}
+	}
+}
+
+func (r *Runtime) setGauge(name string, s *runtimemetrics.Sample) {
+	switch s.Value.Kind() {
+	case runtimemetrics.KindUint64:
+		r.reg.Gauge(name).Set(float64(s.Value.Uint64()))
+	case runtimemetrics.KindFloat64:
+		r.reg.Gauge(name).Set(s.Value.Float64())
+	}
+}
+
+func (r *Runtime) setQuantiles(name string, s *runtimemetrics.Sample) {
+	if s.Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return
+	}
+	h := s.Value.Float64Histogram()
+	for _, q := range runtimeQuantiles {
+		v := histogramQuantile(h, q)
+		if math.IsNaN(v) {
+			continue
+		}
+		r.reg.Gauge(telemetry.Label(name, "q", strconv.FormatFloat(q, 'g', -1, 64))).Set(v)
+	}
+}
+
+// histogramQuantile estimates the q-quantile of a runtime
+// Float64Histogram by walking cumulative bucket counts and returning
+// the bucket's upper edge (infinite edges clamp to the nearest finite
+// neighbor). Returns NaN for an empty histogram.
+func histogramQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Buckets[i] / Buckets[i+1] bracket bucket i.
+			upper := h.Buckets[i+1]
+			if !math.IsInf(upper, 0) {
+				return upper
+			}
+			lower := h.Buckets[i]
+			if !math.IsInf(lower, 0) {
+				return lower
+			}
+			return 0
+		}
+	}
+	return math.NaN()
+}
+
+// Start launches a polling goroutine at the given interval (<=0 means
+// DefaultRuntimeInterval) and returns immediately after one initial
+// collect, so gauges exist before the first scrape. Stop with Stop.
+func (r *Runtime) Start(interval time.Duration) {
+	if r == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	r.Collect()
+	r.mu.Lock()
+	if r.stopped != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.stopped, r.done = stop, done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.Collect()
+			}
+		}
+	}()
+}
+
+// Stop halts the polling goroutine and waits for it to exit. Nil-safe
+// and idempotent.
+func (r *Runtime) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stop, done := r.stopped, r.done
+	r.stopped, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"deepvalidation/internal/artifact"
+)
+
+// Sink receives emitted events as single NDJSON lines (no trailing
+// newline; the sink appends its own). Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	WriteEvent(line []byte) error
+	Close() error
+}
+
+// WriterSink serializes events to an io.Writer (stderr, a test
+// buffer). Writes are mutex-serialized so concurrent emitters never
+// interleave lines.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink wraps w as a sink.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{w: w}
+}
+
+func (s *WriterSink) WriteEvent(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(line); err != nil {
+		return err
+	}
+	_, err := s.w.Write([]byte{'\n'})
+	return err
+}
+
+// Close flushes nothing (the writer is not owned) and never fails.
+func (s *WriterSink) Close() error { return nil }
+
+// DefaultMaxLogBytes is the rotation threshold when FileSink is built
+// with maxBytes <= 0.
+const DefaultMaxLogBytes = 64 << 20
+
+// FileSink appends NDJSON events to a file and rotates it by size:
+// when the next line would push the file past the cap, the current
+// file is synced, closed, and renamed to path+".1" (replacing any
+// previous rotation), the directory is fsynced — the same
+// publish-then-sync discipline the artifact layer uses — and a fresh
+// file is opened at path. At most two generations exist on disk, so a
+// chatty logger is bounded at ~2x the cap.
+type FileSink struct {
+	mu   sync.Mutex
+	path string
+	max  int64
+	f    *os.File
+	size int64
+}
+
+// NewFileSink opens (or creates) path for appending with the given
+// rotation cap in bytes (<=0 means DefaultMaxLogBytes).
+func NewFileSink(path string, maxBytes int64) (*FileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxLogBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening log file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: stat log file: %w", err)
+	}
+	return &FileSink{path: path, max: maxBytes, f: f, size: st.Size()}, nil
+}
+
+func (s *FileSink) WriteEvent(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("obs: log file %s is closed", s.path)
+	}
+	need := int64(len(line)) + 1
+	if s.size > 0 && s.size+need > s.max {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(append(line, '\n'))
+	s.size += int64(n)
+	return err
+}
+
+// rotateLocked publishes the full file as path+".1" and reopens a
+// fresh path. A crash mid-rotation leaves either the old generation at
+// path or at path+".1" — never a torn hybrid — because the move is a
+// rename and the directory is fsynced after it.
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("obs: syncing %s before rotation: %w", s.path, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("obs: closing %s for rotation: %w", s.path, err)
+	}
+	s.f = nil
+	if err := os.Rename(s.path, s.path+".1"); err != nil {
+		return fmt.Errorf("obs: rotating %s: %w", s.path, err)
+	}
+	artifact.SyncDir(filepath.Dir(s.path))
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: reopening %s after rotation: %w", s.path, err)
+	}
+	s.f = f
+	s.size = 0
+	return nil
+}
+
+// Close syncs and closes the file. Further writes fail.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

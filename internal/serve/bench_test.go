@@ -194,6 +194,86 @@ func TestBenchServeSnapshot(t *testing.T) {
 	}
 }
 
+type workerBenchEntry struct {
+	Workers     int     `json:"workers"`
+	Requests    int     `json:"requests"`
+	Clients     int     `json:"clients"`
+	RPS         float64 `json:"requests_per_second"`
+	SpeedupVsW1 float64 `json:"speedup_vs_workers1"`
+}
+
+// TestBenchServeWorkersSnapshot records micro-batched serving
+// throughput at dispatch -workers 1, 2, and 4 into BENCH_pipeline.json
+// under a "serving_workers" key — the multicore leg ROADMAP item 1
+// calls for, so worker-pool wins register when the snapshot host has
+// more than one CPU. Gated behind DV_BENCH_SNAPSHOT=1 like the other
+// snapshot passes (see `make snapshot`).
+func TestBenchServeWorkersSnapshot(t *testing.T) {
+	if os.Getenv("DV_BENCH_SNAPSHOT") == "" {
+		t.Skip("set DV_BENCH_SNAPSHOT=1 to refresh BENCH_pipeline.json")
+	}
+
+	clients := 8 * runtime.GOMAXPROCS(0)
+	if clients < 64 {
+		clients = 64
+	}
+	perClient := 50
+	entries := make([]workerBenchEntry, 0, 3)
+	for _, workers := range []int{1, 2, 4} {
+		cfg := Config{
+			MaxBatch:    32,
+			BatchWindow: 2 * time.Millisecond,
+			QueueDepth:  4096,
+			Workers:     workers,
+			Registry:    telemetry.New(),
+		}
+		rps, _ := serveThroughput(t, cfg, clients, perClient)
+		entries = append(entries, workerBenchEntry{
+			Workers:  workers,
+			Requests: clients * perClient,
+			Clients:  clients,
+			RPS:      rps,
+		})
+	}
+	base := entries[0].RPS
+	for i := range entries {
+		entries[i].SpeedupVsW1 = entries[i].RPS / base
+		t.Logf("workers=%d: %8.1f req/s (%.2fx vs workers=1)",
+			entries[i].Workers, entries[i].RPS, entries[i].SpeedupVsW1)
+	}
+
+	note := "micro-batched serving throughput across dispatch worker counts; verdicts are identical at any width"
+	if runtime.GOMAXPROCS(0) < 4 {
+		note = fmt.Sprintf("snapshot machine exposes only %d CPU(s), so extra dispatch workers measure pool overhead, "+
+			"not speedup — rerun `make snapshot` on a multicore host to record the scaling curve",
+			runtime.GOMAXPROCS(0))
+	}
+
+	raw, err := os.ReadFile(benchSnapshotPath)
+	if err != nil {
+		t.Fatalf("pipeline snapshot must exist before the workers merge (run it first, as `make snapshot` does): %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	workersDoc, err := json.Marshal(struct {
+		Note       string             `json:"note"`
+		Benchmarks []workerBenchEntry `json:"benchmarks"`
+	}{note, entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["serving_workers"] = workersDoc
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchSnapshotPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 type traceBenchEntry struct {
 	TraceSample float64 `json:"trace_sample"`
 	Requests    int     `json:"requests"`

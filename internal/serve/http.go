@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"deepvalidation"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/trace"
 )
@@ -150,6 +151,8 @@ func queryExplain(r *http.Request) bool {
 //	GET  /debug/dv/trace/{id} — one sampled verdict trace's span tree
 //	GET  /debug/dv/flight     — recent verdicts (?valid=, ?class=, ?outcome=, ?limit=)
 //	GET  /debug/dv/drift      — drift-watch status vs the fit-time reference
+//	GET  /debug/dv/events     — recent wide events (?type=, ?level=, ?valid=, ?class=, ?outcome=, ?limit=)
+//	GET  /debug/dv/slo        — SLO burn-rate engine status per objective and window
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", s.handleCheck)
@@ -160,6 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/dv/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/dv/flight", s.handleFlight)
 	mux.HandleFunc("/debug/dv/drift", s.handleDrift)
+	mux.HandleFunc("/debug/dv/events", s.handleEvents)
+	mux.HandleFunc("/debug/dv/slo", s.handleSLO)
 	return mux
 }
 
@@ -319,6 +324,62 @@ func (s *Server) recordDropFlight(endpoint, id, outcome string, lat time.Duratio
 	})
 }
 
+// emitRequest files one request outcome as a wide event: trace
+// identity, outcome, verdict (for scored requests), the queue depth at
+// emission, and the end-to-end latency. Guarded here so the disabled
+// path builds nothing.
+func (s *Server) emitRequest(endpoint, id, outcome string, res *result, lat time.Duration) {
+	if s.events == nil {
+		return
+	}
+	e := obs.Event{
+		Type:       obs.TypeRequest,
+		Level:      obs.LevelInfo,
+		Endpoint:   endpoint,
+		TraceID:    id,
+		Outcome:    outcome,
+		QueueDepth: int(s.depth.Load()),
+		LatencySec: lat.Seconds(),
+	}
+	switch outcome {
+	case trace.OutcomeShed, trace.OutcomeDeadline:
+		e.Level = obs.LevelWarn
+	case trace.OutcomeError:
+		e.Level = obs.LevelError
+		if res != nil && res.err != nil {
+			e.Err = res.err.Error()
+		}
+	default: // scored: ok or quarantined
+		if res != nil {
+			e.Class = res.v.Label
+			e.Valid = res.v.Valid
+			e.Joint = res.v.Discrepancy
+			if res.v.Quarantined {
+				e.Level = obs.LevelWarn
+			}
+			if d := res.d; d != nil && len(d.PerLayer) == len(d.Layers) && finiteSlice(d.PerLayer) {
+				e.Layers = d.Layers
+				e.PerLayer = d.PerLayer
+			}
+		}
+	}
+	s.events.Emit(e)
+}
+
+// storeDropTrace stores a minimal span tree for a traced request that
+// never produced a verdict (shed or deadline), so trace IDs
+// cross-linked from SLO breach events stay resolvable on
+// /debug/dv/trace/{id} even when the request died at admission.
+func (s *Server) storeDropTrace(endpoint, id string, traced bool, t0 time.Time, outcome string) {
+	if !traced || s.traces == nil || id == "" {
+		return
+	}
+	root := trace.NewSpan("verdict", t0, time.Now())
+	root.SetAttr("endpoint", endpoint)
+	root.SetAttr("outcome", outcome)
+	s.traces.Add(&trace.Trace{ID: id, Endpoint: endpoint, Root: root})
+}
+
 // storeTrace assembles and stores one traced request's span tree:
 //
 //	verdict
@@ -407,7 +468,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		p.tr = &reqTrace{id: id, t0: t0, enq: time.Now()}
 	}
 	if !s.tryEnqueue(p) {
-		s.recordDropFlight("check", id, trace.OutcomeShed, time.Since(t0))
+		lat := time.Since(t0)
+		s.recordDropFlight("check", id, trace.OutcomeShed, lat)
+		s.storeDropTrace("check", id, traced, t0, trace.OutcomeShed)
+		s.emitRequest("check", id, trace.OutcomeShed, nil, lat)
 		s.shedResponse(w)
 		return
 	}
@@ -417,10 +481,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.storeTrace("check", p, res, end)
 		if res.err != nil {
 			s.recordDropFlight("check", id, trace.OutcomeError, end.Sub(t0))
+			s.emitRequest("check", id, trace.OutcomeError, &res, end.Sub(t0))
 			writeError(w, http.StatusBadRequest, res.err.Error())
 			return
 		}
 		s.recordVerdictFlight("check", id, res, end, end.Sub(t0))
+		outcome := trace.OutcomeOK
+		if res.v.Quarantined {
+			outcome = trace.OutcomeQuarantined
+		}
+		s.emitRequest("check", id, outcome, &res, end.Sub(t0))
 		resp := verdictResponse(res.v)
 		if explain {
 			resp.PerLayer = perLayerMap(res.d)
@@ -428,7 +498,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.deadlines.Inc()
-		s.recordDropFlight("check", id, trace.OutcomeDeadline, time.Since(t0))
+		lat := time.Since(t0)
+		s.recordDropFlight("check", id, trace.OutcomeDeadline, lat)
+		s.storeDropTrace("check", id, traced, t0, trace.OutcomeDeadline)
+		s.emitRequest("check", id, trace.OutcomeDeadline, nil, lat)
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before a verdict was produced")
 	}
 }
@@ -482,7 +555,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !s.tryEnqueue(ps...) {
-		s.recordDropFlight("batch", base, trace.OutcomeShed, time.Since(t0))
+		lat := time.Since(t0)
+		s.recordDropFlight("batch", base, trace.OutcomeShed, lat)
+		s.storeDropTrace("batch", base, traced, t0, trace.OutcomeShed)
+		s.emitRequest("batch", base, trace.OutcomeShed, nil, lat)
 		s.shedResponse(w)
 		return
 	}
@@ -498,17 +574,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.storeTrace("batch", p, res, end)
 			if res.err != nil {
 				s.recordDropFlight("batch", itemID, trace.OutcomeError, end.Sub(t0))
+				s.emitRequest("batch", itemID, trace.OutcomeError, &res, end.Sub(t0))
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("image %d: %v", i, res.err))
 				return
 			}
 			s.recordVerdictFlight("batch", itemID, res, end, end.Sub(t0))
+			outcome := trace.OutcomeOK
+			if res.v.Quarantined {
+				outcome = trace.OutcomeQuarantined
+			}
+			s.emitRequest("batch", itemID, outcome, &res, end.Sub(t0))
 			resp.Verdicts[i] = verdictResponse(res.v)
 			if p.explain {
 				resp.Verdicts[i].PerLayer = perLayerMap(res.d)
 			}
 		case <-ctx.Done():
 			s.deadlines.Inc()
-			s.recordDropFlight("batch", itemID, trace.OutcomeDeadline, time.Since(t0))
+			lat := time.Since(t0)
+			s.recordDropFlight("batch", itemID, trace.OutcomeDeadline, lat)
+			s.storeDropTrace("batch", itemID, traced, t0, trace.OutcomeDeadline)
+			s.emitRequest("batch", itemID, trace.OutcomeDeadline, nil, lat)
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before all verdicts were produced")
 			return
 		}
@@ -593,6 +678,77 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, flightResponse{Count: len(entries), Entries: entries})
 }
 
+// eventsResponse is the body of GET /debug/dv/events.
+type eventsResponse struct {
+	Count  int         `json:"count"`
+	Events []obs.Event `json:"events"`
+}
+
+// handleEvents serves the wide-event ring, newest first. Filters mirror
+// the flight recorder's (?valid=, ?class=, ?outcome=, ?limit=) plus the
+// event-native ?type= and ?level= axes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.events == nil {
+		writeError(w, http.StatusNotFound, "event log disabled (serve with Config.Events)")
+		return
+	}
+	q := r.URL.Query()
+	f := obs.Filter{Type: q.Get("type"), Outcome: q.Get("outcome")}
+	if v := q.Get("level"); v != "" {
+		lvl, err := obs.ParseLevel(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad level filter: "+err.Error())
+			return
+		}
+		f.MinLevel = lvl
+	}
+	if v := q.Get("valid"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad valid filter: "+err.Error())
+			return
+		}
+		f.Valid = &b
+	}
+	if v := q.Get("class"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad class filter: "+err.Error())
+			return
+		}
+		f.Class = &k
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit: "+err.Error())
+			return
+		}
+		f.Limit = n
+	}
+	evs := s.events.Snapshot(f)
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Count: len(evs), Events: evs})
+}
+
+// handleSLO serves the burn-rate engine's per-objective evaluation
+// (Enabled false when the engine is off).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SLOStatus())
+}
+
 // handleDrift serves the drift-watch status (Enabled false when the
 // watch is off or the loaded artifact carries no fit-time reference).
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
@@ -627,27 +783,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyzBody is the machine-parseable readiness summary appended to
+// /readyz as a single JSON line, after the plain-text lines probes and
+// smoke scripts grep.
+type readyzBody struct {
+	Status           string            `json:"status"`
+	ReloadFailStreak int               `json:"reload_fail_streak"`
+	Drift            trace.DriftStatus `json:"drift"`
+	SLO              obs.Status        `json:"slo"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !s.Ready() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		if s.draining.Load() {
-			fmt.Fprintln(w, "draining")
-		} else {
-			fmt.Fprintln(w, "loading")
-		}
-		return
-	}
-	if s.Degraded() {
+	// The body layout is a compatibility contract: line 1 is the bare
+	// status word probes match, line 2 the drift summary, line 3 the SLO
+	// summary, line 4 the full JSON readiness document.
+	status := "ready"
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.Ready():
+		status, code = "loading", http.StatusServiceUnavailable
+	case s.Degraded():
 		// Still answering checks on the last good detector, but the
 		// artifact pipeline is broken: stop routing fresh traffic here.
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "degraded: %d consecutive reload failures; serving the last good detector\n", s.FailStreak())
-		fmt.Fprintln(w, s.driftLine())
-		return
+		status = fmt.Sprintf("degraded: %d consecutive reload failures; serving the last good detector", s.FailStreak())
+		code = http.StatusServiceUnavailable
 	}
-	fmt.Fprintln(w, "ready")
+	drift := s.DriftStatus()
+	slo := s.SLOStatus()
+	w.WriteHeader(code)
+	fmt.Fprintln(w, status)
 	fmt.Fprintln(w, s.driftLine())
+	fmt.Fprintln(w, slo.Line())
+	body, err := json.Marshal(readyzBody{
+		Status:           status,
+		ReloadFailStreak: s.FailStreak(),
+		Drift:            drift,
+		SLO:              slo,
+	})
+	if err == nil {
+		w.Write(body)
+		fmt.Fprintln(w)
+	}
 }
 
 // driftLine is the human-readable drift detail appended to /readyz

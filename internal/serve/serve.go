@@ -38,7 +38,9 @@ import (
 	"time"
 
 	"deepvalidation"
+	"deepvalidation/internal/core"
 	"deepvalidation/internal/faultinject"
+	"deepvalidation/internal/obs"
 	"deepvalidation/internal/telemetry"
 	"deepvalidation/internal/trace"
 )
@@ -149,6 +151,58 @@ type Config struct {
 	// DriftThreshold is the per-layer quantile-shift score at which
 	// dv_drift_alarm raises (0 means trace.DefaultDriftThreshold).
 	DriftThreshold float64
+	// Events, when non-nil, receives one wide event per request
+	// outcome, reload attempt, drift-alarm transition, quarantined
+	// verdict, and SLO breach transition, and is served on
+	// GET /debug/dv/events. Nil disables event emission entirely; the
+	// hot path then builds nothing.
+	Events *obs.Logger
+	// SLO configures the burn-rate engine over the serving objectives.
+	// The zero value is disabled.
+	SLO SLOOptions
+}
+
+// SLOOptions declares the serving objectives the SLO engine evaluates
+// as multi-window burn rates (see internal/obs). Zero-value fields take
+// the documented defaults when Enabled.
+type SLOOptions struct {
+	// Enabled turns the engine on; it also needs Config.Registry, which
+	// carries the counters the objectives difference.
+	Enabled bool
+	// Availability is the goal fraction of requests answered without
+	// shedding (429) or deadline expiry (504); default 0.999.
+	Availability float64
+	// LatencyTarget and LatencyGoal declare the latency objective: at
+	// least LatencyGoal of single-check requests finish within
+	// LatencyTarget (defaults 250ms and 0.99). The target snaps up to
+	// the enclosing latency-histogram bucket edge.
+	LatencyTarget time.Duration
+	LatencyGoal   float64
+	// QuarantineGoal is the goal fraction of verdicts not quarantined
+	// by non-finite numerics; default 0.999.
+	QuarantineGoal float64
+	// Windows, Interval, and Burn tune the engine; zero values mean
+	// obs.DefaultWindows, obs.DefaultSLOInterval, and
+	// obs.DefaultBurnThreshold.
+	Windows  []obs.Window
+	Interval time.Duration
+	Burn     float64
+}
+
+// sloDefaults fills unset objective goals in place.
+func (o *SLOOptions) sloDefaults() {
+	if o.Availability <= 0 || o.Availability >= 1 {
+		o.Availability = 0.999
+	}
+	if o.LatencyTarget <= 0 {
+		o.LatencyTarget = 250 * time.Millisecond
+	}
+	if o.LatencyGoal <= 0 || o.LatencyGoal >= 1 {
+		o.LatencyGoal = 0.99
+	}
+	if o.QuarantineGoal <= 0 || o.QuarantineGoal >= 1 {
+		o.QuarantineGoal = 0.999
+	}
 }
 
 // defaults fills unset fields in place.
@@ -198,6 +252,9 @@ func (c *Config) defaults() {
 	if c.FlightSize == 0 {
 		c.FlightSize = 256
 	}
+	if c.SLO.Enabled {
+		c.SLO.sloDefaults()
+	}
 }
 
 // Server is the serving subsystem: admission queue, micro-batcher,
@@ -228,6 +285,8 @@ type Server struct {
 	traces  *trace.Store
 	flight  *trace.Flight
 	drift   atomic.Pointer[trace.DriftWatch] // rebuilt on hot reload
+	events  *obs.Logger                      // nil disables wide events
+	slo     *obs.Engine                      // nil disables the SLO engine
 
 	// Instrument handles resolved once at New; all nil-safe.
 	queueDepth  *telemetry.Gauge
@@ -259,6 +318,7 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 		queue:  make(chan *pending, cfg.QueueDepth),
 		sem:    make(chan struct{}, cfg.Workers),
 		stop:   make(chan struct{}),
+		events: cfg.Events,
 
 		queueDepth:  reg.Gauge(MetricQueueDepth),
 		batchSize:   reg.Histogram(MetricBatchSize, BatchSizeBuckets),
@@ -283,11 +343,109 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: warming detector: %w", err)
 	}
 	h.Get().AttachTelemetry(reg)
+	h.Get().AttachEvents(cfg.Events)
 	s.rebuildDrift(h.Get())
+	s.buildSLO()
+	s.slo.Start()
 	s.ready.Store(true)
 	s.wg.Add(1)
 	go s.runBatcher()
+	s.events.Emit(obs.Event{
+		Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "server ready",
+		Extra: map[string]any{"workers": cfg.Workers, "max_batch": cfg.MaxBatch, "queue_depth": cfg.QueueDepth},
+	})
 	return s, nil
+}
+
+// buildSLO assembles the burn-rate engine over the serving objectives.
+// All sources difference cumulative counters already maintained by the
+// request path, so evaluation costs nothing per request.
+func (s *Server) buildSLO() {
+	o := s.cfg.SLO
+	reg := s.cfg.Registry
+	if !o.Enabled || reg == nil {
+		return
+	}
+	// The quarantine objective reads the detector's own counters. They
+	// live in the shared registry, so the handles survive hot reloads.
+	checked := reg.Counter(core.MetricChecked)
+	quarantined := reg.Counter(core.MetricQuarantined)
+	target := o.LatencyTarget.Seconds()
+	objectives := []obs.Objective{
+		{
+			Name:        "availability",
+			Description: fmt.Sprintf("fraction of requests answered without shedding or deadline expiry (goal %g)", o.Availability),
+			Goal:        o.Availability,
+			Source: func() (float64, float64) {
+				bad := float64(s.shed.Value() + s.deadlines.Value())
+				tot := float64(s.reqCheck.Value() + s.reqBatch.Value())
+				return bad, tot
+			},
+		},
+		{
+			Name:        "latency",
+			Description: fmt.Sprintf("fraction of /v1/check requests under %v (goal %g)", o.LatencyTarget, o.LatencyGoal),
+			Goal:        o.LatencyGoal,
+			Source: func() (float64, float64) {
+				return float64(s.latCheck.CountAbove(target)), float64(s.latCheck.Count())
+			},
+		},
+		{
+			Name:        "quarantine",
+			Description: fmt.Sprintf("fraction of verdicts not quarantined by non-finite numerics (goal %g)", o.QuarantineGoal),
+			Goal:        o.QuarantineGoal,
+			Source: func() (float64, float64) {
+				return float64(quarantined.Value()), float64(checked.Value())
+			},
+		},
+	}
+	s.slo = obs.NewEngine(obs.SLOConfig{
+		Objectives: objectives,
+		Windows:    o.Windows,
+		Interval:   o.Interval,
+		Burn:       o.Burn,
+		Registry:   reg,
+		Events:     s.events,
+		TraceIDs:   s.sloTraceIDs(target),
+	})
+}
+
+// sloTraceIDs builds the breach cross-linking callback: up to n recent
+// flight-recorder trace IDs implicated in the named objective's bad
+// events, so a breach event points straight at /debug/dv/trace/{id}.
+func (s *Server) sloTraceIDs(latencyTarget float64) func(string, int) []string {
+	return func(objective string, n int) []string {
+		if s.flight == nil || n <= 0 {
+			return nil
+		}
+		var outcomes []string
+		switch objective {
+		case "availability":
+			outcomes = []string{trace.OutcomeShed, trace.OutcomeDeadline}
+		case "quarantine":
+			outcomes = []string{trace.OutcomeQuarantined}
+		case "latency":
+			outcomes = []string{trace.OutcomeOK}
+		default:
+			return nil
+		}
+		var ids []string
+		for _, oc := range outcomes {
+			for _, e := range s.flight.Snapshot(trace.Filter{Outcome: oc}) {
+				if e.TraceID == "" {
+					continue
+				}
+				if objective == "latency" && e.LatencySec <= latencyTarget {
+					continue
+				}
+				ids = append(ids, e.TraceID)
+				if len(ids) >= n {
+					return ids
+				}
+			}
+		}
+		return ids
+	}
 }
 
 // Warm runs one throwaway check on a zero image of the detector's
@@ -338,12 +496,27 @@ func (s *Server) Reload() (epsilon float64, err error) {
 	eps, err := s.tryReload()
 	if err != nil {
 		s.reloadFails.Inc()
-		s.streakGauge.Set(float64(s.failStreak.Add(1)))
+		streak := s.failStreak.Add(1)
+		s.streakGauge.Set(float64(streak))
+		s.events.Emit(obs.Event{
+			Type: obs.TypeReload, Level: obs.LevelError,
+			Msg: "detector reload rejected; previous detector keeps serving",
+			Err: err.Error(),
+			Extra: map[string]any{
+				"fail_streak": streak,
+				"degraded":    int(streak) >= s.cfg.ReloadMaxFailures,
+			},
+		})
 		return 0, err
 	}
 	s.failStreak.Store(0)
 	s.streakGauge.Set(0)
 	s.reloads.Inc()
+	s.events.Emit(obs.Event{
+		Type: obs.TypeReload, Level: obs.LevelInfo,
+		Msg:   "detector hot-swapped",
+		Extra: map[string]any{"epsilon": eps},
+	})
 	return eps, nil
 }
 
@@ -369,6 +542,7 @@ func (s *Server) tryReload() (float64, error) {
 		return 0, fmt.Errorf("serve: warming reloaded detector: %w", err)
 	}
 	det.AttachTelemetry(s.cfg.Registry)
+	det.AttachEvents(s.events)
 	s.handle.Swap(det)
 	// The drift reference travels with the validator, so a reloaded
 	// detector gets a fresh watch (and a reloaded legacy artifact
@@ -390,6 +564,23 @@ func (s *Server) rebuildDrift(det *deepvalidation.Detector) {
 		s.drift.Store(nil)
 		return
 	}
+	var onAlarm func(trace.DriftStatus)
+	if ev := s.events; ev != nil {
+		onAlarm = func(st trace.DriftStatus) {
+			e := obs.Event{
+				Type: obs.TypeDriftAlarm, Level: obs.LevelWarn,
+				Msg:      fmt.Sprintf("drift alarm raised: max score %.4f >= threshold %.4f", st.MaxScore, st.Threshold),
+				Layers:   st.Layers,
+				PerLayer: st.Scores,
+				Extra:    map[string]any{"max_score": st.MaxScore, "threshold": st.Threshold, "fill": st.Fill},
+			}
+			if !st.Alarm {
+				e.Level = obs.LevelInfo
+				e.Msg = fmt.Sprintf("drift alarm cleared: max score %.4f < threshold %.4f", st.MaxScore, st.Threshold)
+			}
+			ev.Emit(e)
+		}
+	}
 	s.drift.Store(trace.NewDriftWatch(trace.DriftConfig{
 		Layers:    layers,
 		Probs:     probs,
@@ -397,6 +588,7 @@ func (s *Server) rebuildDrift(det *deepvalidation.Detector) {
 		Window:    s.cfg.DriftWindow,
 		Threshold: s.cfg.DriftThreshold,
 		Registry:  s.cfg.Registry,
+		OnAlarm:   onAlarm,
 	}))
 }
 
@@ -405,6 +597,20 @@ func (s *Server) rebuildDrift(det *deepvalidation.Detector) {
 func (s *Server) DriftStatus() trace.DriftStatus {
 	return s.drift.Load().Status()
 }
+
+// SLOStatus returns the SLO engine's last evaluation (Enabled false
+// when the engine is off).
+func (s *Server) SLOStatus() obs.Status {
+	return s.slo.Status()
+}
+
+// SLOTick forces one synchronous SLO evaluation — the deterministic
+// hook tests and smoke drivers use instead of waiting out the engine's
+// interval. Nil-safe when the engine is disabled.
+func (s *Server) SLOTick() { s.slo.Tick() }
+
+// Events returns the server's wide-event logger (nil when disabled).
+func (s *Server) Events() *obs.Logger { return s.events }
 
 // FailStreak returns the consecutive reload failures since the last
 // successful swap (or since start).
@@ -457,6 +663,8 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
 		close(s.stop)
+		s.slo.Stop()
+		s.events.Emit(obs.Event{Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "server closing"})
 	})
 	s.wg.Wait()
 }

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -68,6 +71,93 @@ func TestSnapshotQuantiles(t *testing.T) {
 	r.Histogram("empty_seconds", []float64{1})
 	if hs := r.Snapshot().Histograms["empty_seconds"]; hs.P50 != 0 || hs.P99 != 0 {
 		t.Errorf("empty histogram quantiles = %v/%v, want 0/0", hs.P50, hs.P99)
+	}
+}
+
+// TestPrometheusInfOnlyHistogramGolden pins the degenerate histogram
+// layout: a histogram built with no finite bounds has exactly one
+// bucket, and the exposition must still render an explicit le="+Inf"
+// line (Prometheus clients reject histograms whose _count is not
+// mirrored by a +Inf bucket).
+func TestPrometheusInfOnlyHistogramGolden(t *testing.T) {
+	r := New()
+	h := r.Histogram("dv_untimed_seconds", nil)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE dv_untimed_seconds histogram
+dv_untimed_seconds_bucket{le="+Inf"} 2
+dv_untimed_seconds_sum 3.5
+dv_untimed_seconds_count 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestBucketBoundaryConsistency observes a value exactly on a bucket
+// upper bound and requires it to land in the same (inclusive, le)
+// bucket in the JSON snapshot and the Prometheus exposition — the two
+// export paths must agree on edge semantics or dashboards built on one
+// disagree with alerts built on the other.
+func TestBucketBoundaryConsistency(t *testing.T) {
+	r := New()
+	h := r.Histogram("dv_edge_seconds", []float64{1, 2})
+	h.Observe(1) // exactly on the first upper bound: le="1", not le="2"
+
+	// JSON side: round-trip the snapshot through encoding/json and read
+	// the cumulative counts back out of the wire form.
+	snap := r.Snapshot().Histograms["dv_edge_seconds"]
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded HistogramSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Buckets) != 3 {
+		t.Fatalf("JSON round-trip has %d buckets, want 3 (le=1, le=2, le=+Inf)", len(decoded.Buckets))
+	}
+	jsonCounts := map[string]int64{}
+	for _, b := range decoded.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		jsonCounts[le] = b.Count
+	}
+
+	// Prometheus side: parse the _bucket lines out of the exposition.
+	var text strings.Builder
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	promCounts := map[string]int64{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if !strings.HasPrefix(line, "dv_edge_seconds_bucket") {
+			continue
+		}
+		le := line[strings.Index(line, `le="`)+len(`le="`) : strings.Index(line, `"}`)]
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		promCounts[le] = n
+	}
+
+	want := map[string]int64{"1": 1, "2": 1, "+Inf": 1} // cumulative: the boundary value is ≤ every bound
+	for _, counts := range []map[string]int64{jsonCounts, promCounts} {
+		for le, n := range want {
+			if counts[le] != n {
+				t.Errorf("JSON %v / Prometheus %v, want %v: boundary observation must be inclusive (le)", jsonCounts, promCounts, want)
+				return
+			}
+		}
 	}
 }
 

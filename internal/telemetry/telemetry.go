@@ -217,6 +217,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// CountAbove returns the number of observations recorded above the
+// smallest bucket upper bound ≥ bound. The count is exact with respect
+// to the bucket layout — no interpolation — so it is monotone under
+// new observations; bounds that fall between bucket edges snap up to
+// the next edge (an undercount of at most one bucket's width). This is
+// the latency-SLO primitive: "requests slower than the target" with
+// the target snapped onto the histogram grid. Returns 0 for nil.
+func (h *Histogram) CountAbove(bound float64) int64 {
+	if h == nil {
+		return 0
+	}
+	// First bucket whose upper bound is ≥ bound; everything in later
+	// buckets is strictly above that edge.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var above int64
+	for i := lo + 1; i < len(h.counts); i++ {
+		above += h.counts[i].Load()
+	}
+	return above
+}
+
 // atomicFloat is a float64 updated with a CAS loop so concurrent Adds
 // never lose increments.
 type atomicFloat struct {

@@ -43,6 +43,12 @@ type DriftConfig struct {
 	Window    int         // sliding-window size; <= 0 means DefaultDriftWindow
 	Threshold float64     // alarm threshold; <= 0 means DefaultDriftThreshold
 	Registry  *telemetry.Registry
+	// OnAlarm, when non-nil, is invoked with the fresh status on every
+	// alarm transition (raise and clear), outside the watch's mutex —
+	// the hook the serving layer uses to emit drift-alarm events.
+	// Callbacks run on the Observe caller's goroutine and must not call
+	// back into the watch synchronously in a way that blocks.
+	OnAlarm func(DriftStatus)
 }
 
 // DriftStatus is the JSON-ready summary served on /debug/dv/drift and
@@ -143,7 +149,6 @@ func (w *DriftWatch) Observe(perLayer []float64) {
 		}
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	for l, v := range perLayer {
 		w.rings[l][w.next] = v
 	}
@@ -153,8 +158,20 @@ func (w *DriftWatch) Observe(perLayer []float64) {
 	}
 	w.gFill.Set(float64(w.fill))
 	w.sinceRec++
+	var notify *DriftStatus
 	if w.fill >= w.minFill && (w.sinceRec >= driftRecomputeEvery || w.fill == w.minFill) {
+		prev := w.alarm
 		w.recomputeLocked()
+		if w.alarm != prev && w.cfg.OnAlarm != nil {
+			st := w.statusLocked()
+			notify = &st
+		}
+	}
+	w.mu.Unlock()
+	// The transition callback runs outside the mutex so it may take
+	// other locks (event ring, sinks) without ordering constraints.
+	if notify != nil {
+		w.cfg.OnAlarm(*notify)
 	}
 }
 
@@ -200,6 +217,11 @@ func (w *DriftWatch) Status() DriftStatus {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.statusLocked()
+}
+
+// statusLocked builds the status snapshot; caller holds w.mu.
+func (w *DriftWatch) statusLocked() DriftStatus {
 	st := DriftStatus{
 		Enabled:   true,
 		Warming:   w.fill < w.minFill,

@@ -106,6 +106,76 @@ func TestFlightFilters(t *testing.T) {
 	}
 }
 
+// TestFlightFilterCombinations exercises every pair-and-triple of the
+// triage dimensions (valid, class, outcome, limit) against one
+// population, including contradictory combinations that must match
+// nothing and a ring smaller than the traffic so filters run over a
+// wrapped buffer. Expected matches are identified by Seq: entries are
+// recorded in order, so seq == record index + 1.
+func TestFlightFilterCombinations(t *testing.T) {
+	// Ring of 8 sees 12 records: seqs 1-4 are evicted, 5-12 remain.
+	f := NewFlight(8)
+	population := []Entry{
+		{Outcome: OutcomeOK, Valid: true, Label: 1},           // seq 1 (evicted)
+		{Outcome: OutcomeShed},                                // seq 2 (evicted)
+		{Outcome: OutcomeOK, Valid: false, Label: 2},          // seq 3 (evicted)
+		{Outcome: OutcomeDeadline},                            // seq 4 (evicted)
+		{Outcome: OutcomeOK, Valid: true, Label: 1},           // seq 5
+		{Outcome: OutcomeOK, Valid: true, Label: 2},           // seq 6
+		{Outcome: OutcomeOK, Valid: false, Label: 2},          // seq 7
+		{Outcome: OutcomeQuarantined, Valid: false, Label: 1}, // seq 8
+		{Outcome: OutcomeShed},                                // seq 9
+		{Outcome: OutcomeDeadline},                            // seq 10
+		{Outcome: OutcomeError},                               // seq 11
+		{Outcome: OutcomeOK, Valid: false, Label: 1},          // seq 12
+	}
+	for _, e := range population {
+		f.Record(e)
+	}
+
+	vTrue, vFalse := true, false
+	cls1, cls2, cls9 := 1, 2, 9
+	cases := []struct {
+		name     string
+		filter   Filter
+		wantSeqs []uint64 // newest first
+	}{
+		{"all", Filter{}, []uint64{12, 11, 10, 9, 8, 7, 6, 5}},
+		{"valid+class", Filter{Valid: &vTrue, Class: &cls1}, []uint64{5}},
+		{"invalid+class", Filter{Valid: &vFalse, Class: &cls1}, []uint64{12, 8}},
+		{"invalid+class+limit", Filter{Valid: &vFalse, Class: &cls1, Limit: 1}, []uint64{12}},
+		{"valid+outcome", Filter{Valid: &vFalse, Outcome: OutcomeQuarantined}, []uint64{8}},
+		{"class+outcome", Filter{Class: &cls2, Outcome: OutcomeOK}, []uint64{7, 6}},
+		{"valid+class+outcome", Filter{Valid: &vFalse, Class: &cls2, Outcome: OutcomeOK}, []uint64{7}},
+		{"limit over match count", Filter{Class: &cls2, Limit: 99}, []uint64{7, 6}},
+		{"limit zero means all", Filter{Outcome: OutcomeOK, Limit: 0}, []uint64{12, 7, 6, 5}},
+		{"negative limit means all", Filter{Outcome: OutcomeOK, Limit: -3}, []uint64{12, 7, 6, 5}},
+		// Contradictory combinations: individually each dimension
+		// matches something, together they must match nothing.
+		{"valid=true + outcome=shed", Filter{Valid: &vTrue, Outcome: OutcomeShed}, nil},
+		{"valid=true + outcome=error", Filter{Valid: &vTrue, Outcome: OutcomeError}, nil},
+		{"class + outcome=deadline", Filter{Class: &cls1, Outcome: OutcomeDeadline}, nil},
+		{"valid=true + class=2 + outcome=quarantined", Filter{Valid: &vTrue, Class: &cls2, Outcome: OutcomeQuarantined}, nil},
+		{"unknown class", Filter{Class: &cls9}, nil},
+		{"unknown outcome", Filter{Outcome: "nope"}, nil},
+		// Matches that only existed in evicted slots must stay gone.
+		{"evicted-only combination", Filter{Valid: &vFalse, Class: &cls2, Outcome: OutcomeOK, Limit: 5}, []uint64{7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := f.Snapshot(tc.filter)
+			if len(got) != len(tc.wantSeqs) {
+				t.Fatalf("matched %d entries %+v, want seqs %v", len(got), got, tc.wantSeqs)
+			}
+			for i, e := range got {
+				if e.Seq != tc.wantSeqs[i] {
+					t.Errorf("entry %d seq = %d, want %d", i, e.Seq, tc.wantSeqs[i])
+				}
+			}
+		})
+	}
+}
+
 func TestFlightNilAndDisabled(t *testing.T) {
 	if NewFlight(0) != nil || NewFlight(-1) != nil {
 		t.Fatal("non-positive size should disable the recorder")
