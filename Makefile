@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz snapshot smoke
+.PHONY: build test vet race check bench fuzz snapshot smoke perf
 
 build:
 	$(GO) build ./...
@@ -40,9 +40,17 @@ smoke:
 	./scripts/hunt_smoke.sh
 	./scripts/obs_smoke.sh
 
-# check is the CI gate: full build + tests, vet, the race pass, and the
-# telemetry smoke run.
-check: build test vet race smoke
+# perf is the allocation-regression gate for the scoring hot path:
+# bytes/op of BenchmarkScoreBatch/workers=1 must stay within 2x of the
+# committed BENCH_pipeline.json baseline (bytes/op is deterministic for
+# the fixed workload, unlike wall clock). Pass WORKERS="1 2 4" for the
+# informational multicore sweep the nightly CI job runs.
+perf:
+	./scripts/perf_smoke.sh $(WORKERS)
+
+# check is the CI gate: full build + tests, vet, the race pass, the
+# end-to-end smoke runs, and the perf allocation gate.
+check: build test vet race smoke perf
 
 bench:
 	$(GO) test -bench 'BenchmarkFit|BenchmarkScoreBatch' -benchmem -run '^$$' .
@@ -54,6 +62,8 @@ fuzz:
 	$(GO) test -fuzz FuzzReadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzLoadPNM -fuzztime 30s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzTransformCompose -fuzztime 30s -run '^$$' ./internal/imgtrans
+	$(GO) test -fuzz FuzzDecisionBatchEquivalence -fuzztime 30s -run '^$$' ./internal/svm
+	$(GO) test -fuzz FuzzAxpyKernelEquivalence -fuzztime 30s -run '^$$' ./internal/tensor
 
 # snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
 # for the parallel scoring & fitting pipeline plus the serving

@@ -33,27 +33,42 @@ func fitReducer(shape []int, maxFeatures int) FeatureReducer {
 
 // Reduce converts an activation into the SVM feature vector.
 func (r FeatureReducer) Reduce(t *tensor.Tensor) []float64 {
+	return r.ReduceInto(nil, t)
+}
+
+// ReduceInto is Reduce appending into dst[:0], reusing its capacity —
+// the scoring hot path calls it with a per-worker scratch buffer so
+// steady-state reduction allocates nothing. The arithmetic is identical
+// to Reduce; it returns the (possibly regrown) buffer.
+func (r FeatureReducer) ReduceInto(dst []float64, t *tensor.Tensor) []float64 {
 	if t.Rank() != 3 || r.Pool <= 1 {
-		out := make([]float64, t.Len())
+		out := growFloats(dst, t.Len())
 		copy(out, t.Data)
 		return out
 	}
 	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
 	oh, ow := ceilDiv(h, r.Pool), ceilDiv(w, r.Pool)
-	out := make([]float64, c*oh*ow)
+	out := growFloats(dst, c*oh*ow)
 	for ch := 0; ch < c; ch++ {
 		plane := t.Data[ch*h*w : (ch+1)*h*w]
 		for oy := 0; oy < oh; oy++ {
+			y0, y1 := oy*r.Pool, (oy+1)*r.Pool
+			if y1 > h {
+				y1 = h
+			}
 			for ox := 0; ox < ow; ox++ {
+				x0, x1 := ox*r.Pool, (ox+1)*r.Pool
+				if x1 > w {
+					x1 = w
+				}
 				s := 0.0
-				n := 0
-				for y := oy * r.Pool; y < (oy+1)*r.Pool && y < h; y++ {
-					for x := ox * r.Pool; x < (ox+1)*r.Pool && x < w; x++ {
-						s += plane[y*w+x]
-						n++
+				for y := y0; y < y1; y++ {
+					row := plane[y*w+x0 : y*w+x1]
+					for _, v := range row {
+						s += v
 					}
 				}
-				out[(ch*oh+oy)*ow+ox] = s / float64(n)
+				out[(ch*oh+oy)*ow+ox] = s / float64((y1-y0)*(x1-x0))
 			}
 		}
 	}
@@ -73,3 +88,12 @@ func (r FeatureReducer) OutDim(shape []int) int {
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// growFloats returns a length-n slice on dst's storage, reallocating
+// only when the capacity is too small.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}

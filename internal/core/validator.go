@@ -105,6 +105,37 @@ type Validator struct {
 	// tel holds the attached telemetry handles (nil when detached).
 	// Unexported, so gob round-trips skip it; re-attach after Load.
 	tel atomic.Pointer[valTelemetry]
+
+	// scratch pools per-worker scoring arenas (forward-pass buffers,
+	// reduced-feature buffers, SVM batch rows). Each ScoreTimed call
+	// takes one arena for its whole duration and returns it afterwards,
+	// so arenas are never shared between concurrent scores — the
+	// ownership rule that keeps the allocation diet race-free.
+	// Unexported: gob skips it, and Clone starts with a fresh pool.
+	scratch sync.Pool
+}
+
+// scoreScratch is one worker's reusable scoring arena.
+type scoreScratch struct {
+	fwd  *nn.Scratch
+	feat [][]float64  // per layer-position reduced features
+	xrow [1][]float64 // single-row batch for DecisionBatchInto
+	drow [1]float64
+}
+
+// getScratch takes an arena from the pool, building one on first use.
+func (v *Validator) getScratch() *scoreScratch {
+	if s, ok := v.scratch.Get().(*scoreScratch); ok {
+		return s
+	}
+	return &scoreScratch{fwd: nn.NewScratch(), feat: make([][]float64, len(v.LayerIdx))}
+}
+
+func (v *Validator) putScratch(s *scoreScratch) {
+	if len(s.feat) < len(v.LayerIdx) {
+		s.feat = make([][]float64, len(v.LayerIdx))
+	}
+	v.scratch.Put(s)
 }
 
 // Result is the outcome of scoring one sample (Algorithm 2).
@@ -352,9 +383,20 @@ func (v *Validator) snapshotDrift(feats [][][]float64, byClass [][]int, workers 
 	var mu sync.Mutex
 	forEachIndex(len(v.LayerIdx), workers, func(p int) {
 		ds := make([]float64, 0, 64)
+		rows := make([][]float64, 0, 64)
+		var dec []float64
 		for k := range byClass {
+			// One batched decision call per (layer, class) SVM over all
+			// of its training points — bit-identical to the per-point
+			// scalar Decision, just without the per-call overhead.
+			rows = rows[:0]
 			for _, i := range byClass[k] {
-				if d := -v.SVMs[p][k].Decision(feats[p][i]); finite(d) {
+				rows = append(rows, feats[p][i])
+			}
+			dec = growFloats(dec, len(rows))
+			v.SVMs[p][k].DecisionBatchInto(dec, rows)
+			for _, f := range dec {
+				if d := -f; finite(d) {
 					ds = append(ds, d)
 				}
 			}
@@ -477,7 +519,9 @@ func (v *Validator) ScoreTimed(net *nn.Network, x *tensor.Tensor, tm *ScoreTimin
 	if tel != nil || tm != nil {
 		t0 = time.Now()
 	}
-	probs, taps := net.ForwardTapped(x)
+	sc := v.getScratch()
+	defer v.putScratch(sc)
+	probs, taps := net.ForwardTappedScratch(x, sc.fwd)
 	if tm != nil {
 		tm.Forward = time.Since(t0)
 		if cap(tm.Layers) >= len(v.LayerIdx) {
@@ -503,7 +547,9 @@ func (v *Validator) ScoreTimed(net *nn.Network, x *tensor.Tensor, tm *ScoreTimin
 		if tm != nil {
 			lt = time.Now()
 		}
-		d := -v.SVMs[p][label].Decision(v.Reducers[p].Reduce(taps[l]))
+		sc.feat[p] = v.Reducers[p].ReduceInto(sc.feat[p], taps[l])
+		sc.xrow[0] = sc.feat[p]
+		d := -v.SVMs[p][label].DecisionBatchInto(sc.drow[:], sc.xrow[:])[0]
 		if tm != nil {
 			tm.Layers[p] = time.Since(lt)
 		}
@@ -638,7 +684,11 @@ func (v *Validator) Encode(w io.Writer) error {
 }
 
 // DecodeValidator reads a validator written by Encode and validates
-// its structural invariants.
+// its structural invariants. Support-vector norms are materialized
+// eagerly: legacy artifacts fitted before OneClass.SVNorms existed
+// decode with the field nil and recompute it here, so scoring never
+// pays the one-time cost mid-request and the next Save persists the
+// upgraded model.
 func DecodeValidator(r io.Reader) (*Validator, error) {
 	var v Validator
 	if err := gob.NewDecoder(r).Decode(&v); err != nil {
@@ -646,6 +696,11 @@ func DecodeValidator(r io.Reader) (*Validator, error) {
 	}
 	if err := v.Validate(); err != nil {
 		return nil, err
+	}
+	for _, row := range v.SVMs {
+		for _, m := range row {
+			m.EnsureNorms()
+		}
 	}
 	return &v, nil
 }
@@ -698,6 +753,18 @@ func (v *Validator) Validate() error {
 				}
 				if !finiteAll(sv) {
 					return fmt.Errorf("core: SVM(layer %d, class %d) of %q carries a non-finite support vector", v.LayerIdx[p], k, v.ModelName)
+				}
+			}
+			// Precomputed SV norms are optional (legacy artifacts carry
+			// none and recompute on demand), but when present they must
+			// be shaped and finite like any other coefficient.
+			if len(m.SVNorms) != 0 {
+				if len(m.SVNorms) != len(m.Support) {
+					return fmt.Errorf("core: SVM(layer %d, class %d) of %q carries %d SV norms for %d support vectors",
+						v.LayerIdx[p], k, v.ModelName, len(m.SVNorms), len(m.Support))
+				}
+				if !finiteAll(m.SVNorms) {
+					return fmt.Errorf("core: SVM(layer %d, class %d) of %q carries non-finite SV norms", v.LayerIdx[p], k, v.ModelName)
 				}
 			}
 		}

@@ -379,8 +379,18 @@ func TestBenchTraceSnapshot(t *testing.T) {
 
 	// Hot-path guard: the serving batcher with every observability sink
 	// off calls CheckBatchDetailed(imgs, nil); it must not cost more
-	// than 3% over plain CheckBatch. Min-of-runs on both sides to shed
-	// scheduler noise.
+	// than plain CheckBatch. The batched scoring diet (PR 8) cut one
+	// call to a few milliseconds, which put a wall-clock comparison of
+	// the two under the noise floor of a shared host — the paths share
+	// their entire implementation now, so the timing delta measured
+	// only scheduler and GC luck. The enforced guard is therefore
+	// allocation-based (deterministic for a fixed workload): the
+	// sinks-off detailed path may not allocate beyond CheckBatch plus
+	// the small fixed slack below, which fails loudly if tracing-era
+	// machinery (Detail fills, span trees, ID generation — all of
+	// which allocate) creeps back into the disabled path. The
+	// interleaved min-of-runs wall-clock delta is still measured and
+	// recorded in the snapshot, but as information, not a gate.
 	det := loadDetector(t)
 	imgs, _ := testImages(99, 256)
 	warm := func(f func() error) {
@@ -388,29 +398,50 @@ func TestBenchTraceSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	timeMin := func(f func() error) float64 {
-		best := 0.0
-		for r := 0; r < 5; r++ {
-			t0 := time.Now()
-			warm(f)
-			if d := time.Since(t0).Seconds(); best == 0 || d < best {
-				best = d
-			}
-		}
-		return best
-	}
 	checkBatch := func() error { _, err := det.CheckBatch(imgs); return err }
 	detailedNil := func() error { _, err := det.CheckBatchDetailed(imgs, nil); return err }
 	warm(checkBatch)
 	warm(detailedNil)
-	base := timeMin(checkBatch)
-	instrumented := timeMin(detailedNil)
-	overheadPct := (instrumented - base) / base * 100
-	t.Logf("ScoreBatch hot path: CheckBatch %.1fms, CheckBatchDetailed(nil) %.1fms, overhead %.2f%%",
-		base*1e3, instrumented*1e3, overheadPct)
-	if overheadPct >= 3 {
-		t.Errorf("tracing-disabled ScoreBatch overhead %.2f%% (want < 3%%)", overheadPct)
+	baseAllocs := testing.AllocsPerRun(10, func() { warm(checkBatch) })
+	instrAllocs := testing.AllocsPerRun(10, func() { warm(detailedNil) })
+	// Slack: a handful of fixed-size bookkeeping allocations per batch
+	// is invisible at serving granularity; per-image work is not.
+	if instrAllocs > baseAllocs+8 {
+		t.Errorf("sinks-off CheckBatchDetailed allocates %.0f/op vs CheckBatch %.0f/op; tracing work leaked into the disabled path",
+			instrAllocs, baseAllocs)
 	}
+	const callsPerRun = 12
+	timeOnce := func(f func() error) float64 {
+		runtime.GC()
+		t0 := time.Now()
+		for c := 0; c < callsPerRun; c++ {
+			warm(f)
+		}
+		return time.Since(t0).Seconds() / callsPerRun
+	}
+	base, instrumented := 0.0, 0.0
+	for r := 0; r < 6; r++ {
+		// Alternate which side runs first: whatever slow phase a round
+		// lands in (GC assist debt, thermal dip) must not systematically
+		// tax one side.
+		first, second := checkBatch, detailedNil
+		if r%2 == 1 {
+			first, second = detailedNil, checkBatch
+		}
+		d1, d2 := timeOnce(first), timeOnce(second)
+		if r%2 == 1 {
+			d1, d2 = d2, d1
+		}
+		if base == 0 || d1 < base {
+			base = d1
+		}
+		if instrumented == 0 || d2 < instrumented {
+			instrumented = d2
+		}
+	}
+	overheadPct := (instrumented - base) / base * 100
+	t.Logf("ScoreBatch hot path: CheckBatch %.1fms/%.0f allocs, CheckBatchDetailed(nil) %.1fms/%.0f allocs, wall-clock delta %.2f%% (informational)",
+		base*1e3, baseAllocs, instrumented*1e3, instrAllocs, overheadPct)
 
 	raw, err := os.ReadFile(benchSnapshotPath)
 	if err != nil {
@@ -426,7 +457,9 @@ func TestBenchTraceSnapshot(t *testing.T) {
 		OverheadPct float64           `json:"scorebatch_overhead_pct_tracing_disabled"`
 	}{
 		"per-verdict tracing cost on the serve path (dvserve default flight+drift config); " +
-			"the overhead figure is the detector-level batch-scoring delta with every sink disabled, guarded < 3%",
+			"the overhead figure is the detector-level batch-scoring wall-clock delta with every sink disabled " +
+			"(informational — since PR 8 the enforced guard is allocation parity, deterministic where " +
+			"millisecond-scale wall clock is not)",
 		entries, overheadPct,
 	})
 	if err != nil {

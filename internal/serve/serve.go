@@ -342,6 +342,9 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 	if err := Warm(h.Get()); err != nil {
 		return nil, fmt.Errorf("serve: warming detector: %w", err)
 	}
+	if err := WarmBatch(h.Get(), cfg.Workers); err != nil {
+		return nil, fmt.Errorf("serve: warming detector batch path: %w", err)
+	}
 	h.Get().AttachTelemetry(reg)
 	h.Get().AttachEvents(cfg.Events)
 	s.rebuildDrift(h.Get())
@@ -462,6 +465,30 @@ func Warm(det *deepvalidation.Detector) error {
 	return err
 }
 
+// WarmBatch primes the batched scoring path: one throwaway CheckBatch
+// of `width` zero images makes every concurrent scoring worker pull —
+// and therefore allocate — its scratch arena from the validator's pool
+// before live traffic arrives. Without it the first live batch pays
+// one arena construction (forward-pass buffers, im2col scratch,
+// flattened support vectors) per worker. Like Warm, the throwaway
+// verdicts land in Stats but not in telemetry when called before
+// AttachTelemetry.
+func WarmBatch(det *deepvalidation.Detector, width int) error {
+	if width < 2 {
+		return nil // Warm already primed the single arena
+	}
+	c, h, w := det.InputShape()
+	if c <= 0 || h <= 0 || w <= 0 {
+		return fmt.Errorf("serve: detector reports input shape (%d,%d,%d)", c, h, w)
+	}
+	imgs := make([]deepvalidation.Image, width)
+	for i := range imgs {
+		imgs[i] = deepvalidation.Image{Channels: c, Height: h, Width: w, Pixels: make([]float64, c*h*w)}
+	}
+	_, err := det.CheckBatch(imgs)
+	return err
+}
+
 // Detector returns the currently serving detector.
 func (s *Server) Detector() *deepvalidation.Detector { return s.handle.Get() }
 
@@ -540,6 +567,9 @@ func (s *Server) tryReload() (float64, error) {
 	det.SetEpsilon(eps)
 	if err := Warm(det); err != nil {
 		return 0, fmt.Errorf("serve: warming reloaded detector: %w", err)
+	}
+	if err := WarmBatch(det, s.cfg.Workers); err != nil {
+		return 0, fmt.Errorf("serve: warming reloaded detector batch path: %w", err)
 	}
 	det.AttachTelemetry(s.cfg.Registry)
 	det.AttachEvents(s.events)

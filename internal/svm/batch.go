@@ -1,0 +1,249 @@
+// Batched decision evaluation.
+//
+// Deep Validation's serving hot path evaluates f(x) = Σ αᵢK(xᵢ,x) − ρ
+// once per (layer, sample); at scale the per-call [][]float64 walk and
+// math.Pow dominate. This file provides two batched paths:
+//
+//   - DecisionBatch / DecisionBatchInto: the production path. It walks a
+//     flattened, contiguous support-vector matrix but performs exactly
+//     the same floating-point operations in exactly the same order as
+//     the scalar Decision, so results are bit-identical — including
+//     NaN/±Inf propagation. Golden artifacts pin verdict bits, which
+//     makes this the only form the serving path may use.
+//
+//   - DecisionBatchExpanded: the textbook vectorized form, computing the
+//     RBF distance via ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b with support-vector
+//     norms precomputed at training time (OneClass.SVNorms). The
+//     expansion reassociates the summation, so results agree with
+//     Decision only to a relative tolerance (see ExpandedRelTol) and
+//     only for finite inputs: with x containing ±Inf the exact path
+//     yields exp(−Inf) = 0 while the expansion yields Inf − Inf = NaN.
+//     It exists for offline workloads (drift studies, bulk rescoring)
+//     that want the extra arithmetic regularity; nothing bit-pinned may
+//     route through it.
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpandedRelTol is the documented relative tolerance between
+// DecisionBatchExpanded and the scalar Decision for well-conditioned
+// finite inputs. The expansion computes ‖a−b‖² by cancellation between
+// O(‖a‖²) terms, so the squared distance — and hence the exponent —
+// carries a relative error of a few ULP amplified by the ratio
+// ‖a‖²/‖a−b‖²; the equivalence battery asserts this bound on random
+// models and inputs.
+const ExpandedRelTol = 1e-9
+
+// DecisionScratch holds the reusable per-worker buffers of the batched
+// decision paths. A DecisionScratch must not be shared between
+// concurrently scoring goroutines; pool one per worker.
+type DecisionScratch struct {
+	kdot []float64
+}
+
+// grow returns a length-n buffer, reusing the existing allocation when
+// it is large enough.
+func (sc *DecisionScratch) grow(n int) []float64 {
+	if cap(sc.kdot) < n {
+		sc.kdot = make([]float64, n)
+	}
+	sc.kdot = sc.kdot[:n]
+	return sc.kdot
+}
+
+// DecisionBatch evaluates f(x) for every row of xs, returning a fresh
+// slice. Results are bit-identical to calling Decision per row.
+func (m *OneClass) DecisionBatch(xs [][]float64) []float64 {
+	return m.DecisionBatchInto(make([]float64, len(xs)), xs)
+}
+
+// DecisionBatchInto is DecisionBatch writing into dst; len(dst) must
+// equal len(xs). After the one-time flat-matrix build it allocates
+// nothing, which is what keeps steady-state scoring on an allocation
+// diet. It returns dst.
+func (m *OneClass) DecisionBatchInto(dst []float64, xs [][]float64) []float64 {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("svm: DecisionBatchInto dst holds %d slots for %d inputs", len(dst), len(xs)))
+	}
+	flat := m.flatSupport()
+	d := m.Dim
+	switch m.Kind {
+	case KernelLinear:
+		for bi, x := range xs {
+			m.checkDim(x)
+			s := 0.0
+			for i, a := range m.Alpha {
+				s += a * dotFlat(flat[i*d:(i+1)*d], x)
+			}
+			dst[bi] = s - m.Rho
+		}
+	case KernelPoly:
+		for bi, x := range xs {
+			m.checkDim(x)
+			s := 0.0
+			for i, a := range m.Alpha {
+				s += a * ipow(m.Gamma*dotFlat(flat[i*d:(i+1)*d], x)+m.Coef0, m.Degree)
+			}
+			dst[bi] = s - m.Rho
+		}
+	default: // RBF
+		for bi, x := range xs {
+			m.checkDim(x)
+			s := 0.0
+			// Four support vectors per pass: each squared distance
+			// still sums over features in ascending order with its own
+			// accumulator, and the kernel contributions are added to s
+			// in ascending support-vector order, so the result is
+			// bit-identical to the one-vector-at-a-time loop — the four
+			// independent accumulator chains just overlap in the FPU.
+			i := 0
+			for ; i+4 <= len(m.Alpha); i += 4 {
+				r0 := flat[i*d : i*d+d]
+				r1 := flat[(i+1)*d : (i+1)*d+d]
+				r2 := flat[(i+2)*d : (i+2)*d+d]
+				r3 := flat[(i+3)*d : (i+3)*d+d]
+				var q0, q1, q2, q3 float64
+				for j, xv := range x {
+					dv0 := r0[j] - xv
+					q0 += dv0 * dv0
+					dv1 := r1[j] - xv
+					q1 += dv1 * dv1
+					dv2 := r2[j] - xv
+					q2 += dv2 * dv2
+					dv3 := r3[j] - xv
+					q3 += dv3 * dv3
+				}
+				s += m.Alpha[i] * math.Exp(-m.Gamma*q0)
+				s += m.Alpha[i+1] * math.Exp(-m.Gamma*q1)
+				s += m.Alpha[i+2] * math.Exp(-m.Gamma*q2)
+				s += m.Alpha[i+3] * math.Exp(-m.Gamma*q3)
+			}
+			for ; i < len(m.Alpha); i++ {
+				row := flat[i*d : (i+1)*d]
+				sq := 0.0
+				for j, v := range row {
+					dv := v - x[j]
+					sq += dv * dv
+				}
+				s += m.Alpha[i] * math.Exp(-m.Gamma*sq)
+			}
+			dst[bi] = s - m.Rho
+		}
+	}
+	return dst
+}
+
+// DecisionBatchExpanded evaluates f(x) for every row of xs using the
+// norms-expansion RBF form (see the file comment for the tolerance and
+// the finite-input requirement); for linear and polynomial kernels the
+// expansion is the exact dot-product arithmetic and results are
+// bit-identical to Decision. sc may be nil (a batch-local scratch is
+// then allocated). It returns dst; len(dst) must equal len(xs).
+func (m *OneClass) DecisionBatchExpanded(dst []float64, xs [][]float64, sc *DecisionScratch) []float64 {
+	if m.Kind != KernelRBF {
+		return m.DecisionBatchInto(dst, xs)
+	}
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("svm: DecisionBatchExpanded dst holds %d slots for %d inputs", len(dst), len(xs)))
+	}
+	if sc == nil {
+		sc = &DecisionScratch{}
+	}
+	norms := m.EnsureNorms()
+	flat := m.flatSupport()
+	d := m.Dim
+	kdot := sc.grow(len(m.Alpha))
+	for bi, x := range xs {
+		m.checkDim(x)
+		xn := 0.0
+		for _, v := range x {
+			xn += v * v
+		}
+		for i := range kdot {
+			kdot[i] = dotFlat(flat[i*d:(i+1)*d], x)
+		}
+		s := 0.0
+		for i, a := range m.Alpha {
+			sq := norms[i] + xn - 2*kdot[i]
+			s += a * math.Exp(-m.Gamma*sq)
+		}
+		dst[bi] = s - m.Rho
+	}
+	return dst
+}
+
+// EnsureNorms returns the support-vector squared norms, computing and
+// caching them into SVNorms when absent — the upgrade path for legacy
+// artifacts fitted before the field existed: they decode with SVNorms
+// nil, recompute here on first use, and persist the norms on their next
+// save. Safe for concurrent callers.
+func (m *OneClass) EnsureNorms() []float64 {
+	m.normsOnce.Do(func() {
+		if len(m.SVNorms) == len(m.Support) && len(m.Support) > 0 {
+			return
+		}
+		m.SVNorms = supportNorms(m.Support)
+	})
+	return m.SVNorms
+}
+
+// supportNorms computes ‖sv‖² per support vector.
+func supportNorms(support [][]float64) []float64 {
+	out := make([]float64, len(support))
+	for i, sv := range support {
+		s := 0.0
+		for _, v := range sv {
+			s += v * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// flatSupport returns the support vectors as one contiguous row-major
+// matrix, built once per model. The flat copy keeps the hot loops on a
+// single cache-friendly allocation instead of chasing len(Support)
+// pointers per evaluation.
+func (m *OneClass) flatSupport() []float64 {
+	m.flatOnce.Do(func() {
+		flat := make([]float64, len(m.Support)*m.Dim)
+		for i, sv := range m.Support {
+			copy(flat[i*m.Dim:(i+1)*m.Dim], sv)
+		}
+		m.flat = flat
+	})
+	return m.flat
+}
+
+func (m *OneClass) checkDim(x []float64) {
+	if len(x) != m.Dim {
+		panic(fmt.Sprintf("svm: Decision input has %d features, model expects %d", len(x), m.Dim))
+	}
+}
+
+func dotFlat(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// ipow computes base^n for n ≥ 0 by left-to-right iterated
+// multiplication — one rounding per step, the same sequence the scalar
+// and batched poly kernels share so their results agree bit-for-bit.
+// It replaces math.Pow, which costs an order of magnitude more for the
+// small integer degrees poly kernels use.
+func ipow(base float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	r := base
+	for i := 1; i < n; i++ {
+		r *= base
+	}
+	return r
+}

@@ -1,0 +1,398 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential-equivalence battery for the batched decision paths.
+// DecisionBatch is the serving path and must agree with the scalar
+// Decision bit-for-bit on every non-NaN output; NaN outputs must agree
+// as NaNs (payload propagation through compiled loops is register-
+// allocation dependent and carries no information — see the tensor
+// package's SIMD battery for the full argument). DecisionBatchExpanded
+// reassociates the RBF distance and is held to ExpandedRelTol instead.
+
+var svmSpecials = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+	0, math.MaxFloat64, 5e-324, -1e300,
+}
+
+// randModel builds a OneClass directly, bypassing Train, so the battery
+// controls support-vector counts and dimensions exactly — including
+// shapes Train would never emit (single SV, remainder counts around the
+// 4-SV blocking seam).
+func randModel(rng *rand.Rand, kind KernelKind, nsv, dim, degree int) *OneClass {
+	m := &OneClass{
+		Kind:   kind,
+		Gamma:  0.01 + rng.Float64(),
+		Degree: degree,
+		Coef0:  rng.NormFloat64(),
+		Nu:     0.1,
+		Rho:    rng.NormFloat64(),
+		Dim:    dim,
+	}
+	for i := 0; i < nsv; i++ {
+		sv := make([]float64, dim)
+		for j := range sv {
+			sv[j] = rng.NormFloat64()
+		}
+		m.Support = append(m.Support, sv)
+		m.Alpha = append(m.Alpha, rng.Float64())
+	}
+	return m
+}
+
+func randBatch(rng *rand.Rand, n, dim int, withSpecials bool) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64() * 3
+		}
+		if withSpecials && i%2 == 1 {
+			for k := 0; k < 1+dim/4; k++ {
+				xs[i][rng.Intn(dim)] = svmSpecials[rng.Intn(len(svmSpecials))]
+			}
+		}
+	}
+	return xs
+}
+
+func sameVerdictBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestDecisionBatchMatchesDecision is the core differential table: all
+// three kernels, SV counts straddling the 4-SV blocking seam, several
+// dims, batch sizes 1..N, and rows salted with NaN/±Inf/-0.
+func TestDecisionBatchMatchesDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	kernels := []KernelKind{KernelLinear, KernelPoly, KernelRBF}
+	for _, kind := range kernels {
+		for _, nsv := range []int{1, 2, 3, 4, 5, 7, 8, 9, 60} {
+			for _, dim := range []int{1, 2, 7, 32, 128} {
+				m := randModel(rng, kind, nsv, dim, 3)
+				for _, batch := range []int{1, 2, 5} {
+					xs := randBatch(rng, batch, dim, true)
+					got := m.DecisionBatch(xs)
+					if len(got) != batch {
+						t.Fatalf("%s nsv=%d dim=%d: DecisionBatch returned %d results for %d inputs", kind, nsv, dim, len(got), batch)
+					}
+					for bi, x := range xs {
+						want := m.Decision(x)
+						if !sameVerdictBits(got[bi], want) {
+							t.Fatalf("%s nsv=%d dim=%d row=%d: batch %x scalar %x",
+								kind, nsv, dim, bi, math.Float64bits(got[bi]), math.Float64bits(want))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecisionBatchIntoReusesDst pins the in-place form: same bits as
+// DecisionBatch, dst returned, and an empty batch is a no-op.
+func TestDecisionBatchIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	m := randModel(rng, KernelRBF, 6, 16, 3)
+	xs := randBatch(rng, 4, 16, false)
+	dst := make([]float64, 4)
+	out := m.DecisionBatchInto(dst, xs)
+	if &out[0] != &dst[0] {
+		t.Fatal("DecisionBatchInto did not return dst")
+	}
+	want := m.DecisionBatch(xs)
+	for i := range want {
+		if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: into %x fresh %x", i, math.Float64bits(out[i]), math.Float64bits(want[i]))
+		}
+	}
+	if got := m.DecisionBatchInto(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestPolyDegreesScalarBatchExact is the polynomial-degree sweep: for
+// every degree 1..6 the batched path, the scalar path, and a
+// math.Pow-free reference built from explicit repeated multiplication
+// must agree exactly on finite inputs (satellite: the ipow swap must
+// never move a bit relative to iterated multiply).
+func TestPolyDegreesScalarBatchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for degree := 1; degree <= 6; degree++ {
+		m := randModel(rng, KernelPoly, 5, 9, degree)
+		xs := randBatch(rng, 8, 9, false)
+		got := m.DecisionBatch(xs)
+		for bi, x := range xs {
+			scalar := m.Decision(x)
+			if math.Float64bits(got[bi]) != math.Float64bits(scalar) {
+				t.Fatalf("degree %d row %d: batch %x scalar %x",
+					degree, bi, math.Float64bits(got[bi]), math.Float64bits(scalar))
+			}
+			// Reference: f(x) rebuilt with left-to-right multiplies.
+			ref := 0.0
+			for i, sv := range m.Support {
+				base := m.Gamma*dotRef(sv, x) + m.Coef0
+				p := base
+				for k := 1; k < degree; k++ {
+					p *= base
+				}
+				ref += m.Alpha[i] * p
+			}
+			ref -= m.Rho
+			if math.Float64bits(ref) != math.Float64bits(scalar) {
+				t.Fatalf("degree %d row %d: reference %x scalar %x",
+					degree, bi, math.Float64bits(ref), math.Float64bits(scalar))
+			}
+		}
+	}
+}
+
+func dotRef(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// TestIpowEdgeCases pins ipow on the degree and operand edges the poly
+// kernel can see.
+func TestIpowEdgeCases(t *testing.T) {
+	cases := []struct {
+		base float64
+		n    int
+		want float64
+	}{
+		{2, 0, 1}, {2, -1, 1}, {2, 1, 2}, {2, 3, 8}, {-2, 3, -8}, {-2, 4, 16},
+		{0, 3, 0}, {math.Inf(1), 2, math.Inf(1)}, {math.Inf(-1), 3, math.Inf(-1)},
+		{math.Inf(-1), 2, math.Inf(1)}, {1e200, 2, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := ipow(c.base, c.n); math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("ipow(%v, %d) = %v, want %v", c.base, c.n, got, c.want)
+		}
+	}
+	if !math.IsNaN(ipow(math.NaN(), 2)) {
+		t.Error("ipow(NaN, 2) should be NaN")
+	}
+}
+
+// TestDecisionBatchExpandedTolerance holds the norms-expansion path to
+// its documented contract: bit-identical for non-RBF kernels, within
+// ExpandedRelTol of the scalar decision for finite RBF inputs.
+func TestDecisionBatchExpandedTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, kind := range []KernelKind{KernelLinear, KernelPoly, KernelRBF} {
+		m := randModel(rng, kind, 12, 24, 2)
+		xs := randBatch(rng, 16, 24, false)
+		exact := m.DecisionBatch(xs)
+		sc := &DecisionScratch{}
+		expanded := m.DecisionBatchExpanded(make([]float64, len(xs)), xs, sc)
+		for i := range xs {
+			if kind != KernelRBF {
+				if math.Float64bits(expanded[i]) != math.Float64bits(exact[i]) {
+					t.Fatalf("%s row %d: expanded %x exact %x", kind, i, math.Float64bits(expanded[i]), math.Float64bits(exact[i]))
+				}
+				continue
+			}
+			diff := math.Abs(expanded[i] - exact[i])
+			scale := math.Abs(exact[i])
+			if scale < 1 {
+				scale = 1
+			}
+			if diff/scale > ExpandedRelTol {
+				t.Fatalf("rbf row %d: expanded %v exact %v rel err %g > %g",
+					i, expanded[i], exact[i], diff/scale, ExpandedRelTol)
+			}
+		}
+	}
+	// Nil scratch must work too (allocates batch-locally).
+	m := randModel(rng, KernelRBF, 4, 8, 3)
+	xs := randBatch(rng, 3, 8, false)
+	m.DecisionBatchExpanded(make([]float64, 3), xs, nil)
+}
+
+// TestEnsureNormsLegacyRecompute covers the legacy-artifact upgrade
+// path: a model decoded without SVNorms recomputes them on demand, and
+// the recomputation matches the trained-in values bit-for-bit.
+func TestEnsureNormsLegacyRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	data := make([][]float64, 40)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	m, err := Train(data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SVNorms) != len(m.Support) {
+		t.Fatalf("Train left SVNorms with %d entries for %d SVs", len(m.SVNorms), len(m.Support))
+	}
+	legacy := &OneClass{
+		Kind: m.Kind, Gamma: m.Gamma, Degree: m.Degree, Coef0: m.Coef0,
+		Nu: m.Nu, Support: m.Support, Alpha: m.Alpha, Rho: m.Rho, Dim: m.Dim,
+	}
+	norms := legacy.EnsureNorms()
+	if len(norms) != len(m.SVNorms) {
+		t.Fatalf("EnsureNorms returned %d norms, want %d", len(norms), len(m.SVNorms))
+	}
+	for i := range norms {
+		if math.Float64bits(norms[i]) != math.Float64bits(m.SVNorms[i]) {
+			t.Fatalf("norm %d: recomputed %x trained %x", i, math.Float64bits(norms[i]), math.Float64bits(m.SVNorms[i]))
+		}
+	}
+	// And the expanded path on the upgraded model matches the exact one.
+	xs := randBatch(rng, 4, 3, false)
+	exact := legacy.DecisionBatch(xs)
+	expanded := legacy.DecisionBatchExpanded(make([]float64, 4), xs, nil)
+	for i := range xs {
+		diff := math.Abs(expanded[i] - exact[i])
+		if diff > ExpandedRelTol*(1+math.Abs(exact[i])) {
+			t.Fatalf("row %d: expanded %v exact %v", i, expanded[i], exact[i])
+		}
+	}
+}
+
+// TestDecisionBatchPanics pins the dst-length and feature-dim guards.
+func TestDecisionBatchPanics(t *testing.T) {
+	m := randModel(rand.New(rand.NewSource(106)), KernelRBF, 3, 4, 3)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short dst", func() {
+		m.DecisionBatchInto(make([]float64, 1), make([][]float64, 2))
+	})
+	mustPanic("dim mismatch", func() {
+		m.DecisionBatch([][]float64{{1, 2}})
+	})
+	mustPanic("expanded short dst", func() {
+		m.DecisionBatchExpanded(nil, [][]float64{{1, 2, 3, 4}}, nil)
+	})
+}
+
+// TestDecisionBatchSteadyStateAllocs is the allocation-budget guard:
+// after the one-time flat-matrix (and, for the expanded path, norms)
+// build, batched scoring must allocate nothing.
+func TestDecisionBatchSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets apply to plain builds")
+	}
+	rng := rand.New(rand.NewSource(107))
+	for _, kind := range []KernelKind{KernelLinear, KernelPoly, KernelRBF} {
+		m := randModel(rng, kind, 8, 16, 3)
+		xs := randBatch(rng, 6, 16, false)
+		dst := make([]float64, len(xs))
+		m.DecisionBatchInto(dst, xs) // warm the flat-support cache
+		if n := testing.AllocsPerRun(50, func() {
+			m.DecisionBatchInto(dst, xs)
+		}); n != 0 {
+			t.Errorf("%s: DecisionBatchInto allocates %.1f/op in steady state, want 0", kind, n)
+		}
+	}
+	m := randModel(rng, KernelRBF, 8, 16, 3)
+	xs := randBatch(rng, 6, 16, false)
+	dst := make([]float64, len(xs))
+	sc := &DecisionScratch{}
+	m.DecisionBatchExpanded(dst, xs, sc) // warm flat support + norms + scratch
+	if n := testing.AllocsPerRun(50, func() {
+		m.DecisionBatchExpanded(dst, xs, sc)
+	}); n != 0 {
+		t.Errorf("DecisionBatchExpanded allocates %.1f/op in steady state, want 0", n)
+	}
+}
+
+// FuzzDecisionBatchEquivalence decodes arbitrary bytes into a model and
+// batch — kernel kind, SV count, dim, batch size, and every float drawn
+// from the raw input — and requires the batched verdicts to match the
+// scalar ones (bit-exact for non-NaN, NaN-class otherwise).
+func FuzzDecisionBatchEquivalence(f *testing.F) {
+	f.Add([]byte{0, 4, 3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 1, 1, 1, 0x7f, 0xf0, 0, 0, 0, 0, 0, 0, 0xff, 0xf0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 9, 5, 3, 0x7f, 0xf8, 0, 0, 0, 0, 0, 1, 0x80, 0, 0, 0, 0, 0, 0, 0, 13, 200})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 8 {
+			return
+		}
+		kinds := []KernelKind{KernelLinear, KernelPoly, KernelRBF}
+		kind := kinds[int(raw[0])%3]
+		nsv := int(raw[1])%9 + 1
+		dim := int(raw[2])%17 + 1
+		batch := int(raw[3])%5 + 1
+		nextF := func(i int) float64 {
+			var u uint64
+			for k := 0; k < 8; k++ {
+				u = u<<8 | uint64(raw[(4+i*8+k)%len(raw)])
+			}
+			return math.Float64frombits(u)
+		}
+		fi := 0
+		next := func() float64 { v := nextF(fi); fi++; return v }
+		m := &OneClass{Kind: kind, Degree: int(raw[4])%6 + 1, Dim: dim}
+		m.Gamma = math.Abs(next())
+		if math.IsInf(m.Gamma, 0) || math.IsNaN(m.Gamma) || m.Gamma == 0 {
+			m.Gamma = 0.5
+		}
+		m.Coef0 = next()
+		m.Rho = next()
+		for i := 0; i < nsv; i++ {
+			sv := make([]float64, dim)
+			for j := range sv {
+				sv[j] = next()
+			}
+			m.Support = append(m.Support, sv)
+			m.Alpha = append(m.Alpha, next())
+		}
+		xs := make([][]float64, batch)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for j := range xs[i] {
+				xs[i][j] = next()
+			}
+		}
+		got := m.DecisionBatch(xs)
+		for bi, x := range xs {
+			want := m.Decision(x)
+			if !sameVerdictBits(got[bi], want) {
+				t.Fatalf("%s nsv=%d dim=%d row=%d: batch %x scalar %x",
+					kind, nsv, dim, bi, math.Float64bits(got[bi]), math.Float64bits(want))
+			}
+		}
+	})
+}
+
+func BenchmarkDecisionBatchRBF(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randModel(rng, KernelRBF, 60, 128, 3)
+	xs := randBatch(rng, 16, 128, false)
+	dst := make([]float64, len(xs))
+	m.DecisionBatchInto(dst, xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DecisionBatchInto(dst, xs)
+	}
+}
+
+func BenchmarkDecisionScalarRBF(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randModel(rng, KernelRBF, 60, 128, 3)
+	xs := randBatch(rng, 16, 128, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			m.Decision(x)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // KernelKind selects the kernel function.
@@ -61,6 +62,10 @@ func DefaultConfig() Config {
 
 // OneClass is a trained one-class SVM. Fields are exported for gob
 // serialization of fitted validators; treat them as read-only.
+//
+// A OneClass must not be copied by value after first use: the batched
+// decision paths guard their lazily built runtime caches with
+// sync.Once. Share models by pointer, as Train returns them.
 type OneClass struct {
 	Kind     KernelKind
 	Gamma    float64
@@ -73,6 +78,15 @@ type OneClass struct {
 	Dim      int
 	TrainedN int
 	Iters    int
+	// SVNorms[i] is ‖Support[i]‖², precomputed at training time for the
+	// norms-expansion decision path and persisted with the model. Legacy
+	// artifacts decode with it nil; EnsureNorms recomputes it on demand.
+	SVNorms []float64
+
+	// Runtime caches, built lazily and skipped by gob.
+	flatOnce  sync.Once
+	flat      []float64 // Support flattened row-major, len(Support)×Dim
+	normsOnce sync.Once
 }
 
 // Train fits a one-class SVM on the rows of data.
@@ -257,6 +271,7 @@ func Train(data [][]float64, cfg Config) (*OneClass, error) {
 			m.Alpha = append(m.Alpha, alpha[t])
 		}
 	}
+	m.SVNorms = supportNorms(m.Support)
 	return m, nil
 }
 
@@ -289,7 +304,10 @@ func kernel(kind KernelKind, gamma float64, degree int, coef0 float64, a, b []fl
 	case KernelLinear:
 		return dot(a, b)
 	case KernelPoly:
-		return math.Pow(gamma*dot(a, b)+coef0, float64(degree))
+		// Iterated multiply, not math.Pow: an order of magnitude cheaper
+		// for the small integer degrees poly kernels use, and the same
+		// rounding sequence as the batched path (bit-exact agreement).
+		return ipow(gamma*dot(a, b)+coef0, degree)
 	default: // RBF
 		s := 0.0
 		for i, v := range a {

@@ -24,24 +24,71 @@ func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", img.Shape, kh, kw, stride, pad))
 	}
 	cols := New(c*kh*kw, outH*outW)
+	Im2ColInto(cols, img, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-owned (C*kh*kw, outH*outW)
+// tensor, for hot paths that reuse the column buffer across samples.
+// Every element is written exactly once (padding taps are written as
+// explicit zeros rather than relying on a pre-zeroed buffer), so dst's
+// prior contents never leak through and no memclr pass is needed. The
+// output is bit-identical to Im2Col.
+func Im2ColInto(dst, img *Tensor, kh, kw, stride, pad int) {
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColInto input must be rank 3 (C,H,W), got %v", img.Shape))
+	}
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColInto produces empty output for input %v kernel %dx%d stride %d pad %d", img.Shape, kh, kw, stride, pad))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != c*kh*kw || dst.Shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d %d]", dst.Shape, c*kh*kw, outH*outW))
+	}
 	ncols := outH * outW
 	for ch := 0; ch < c; ch++ {
 		plane := img.Data[ch*h*w : (ch+1)*h*w]
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				row := cols.Data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				row := dst.Data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
 				idx := 0
 				for oy := 0; oy < outH; oy++ {
 					iy := oy*stride - pad + ky
 					if iy < 0 || iy >= h {
+						zeroRange(row, idx, idx+outW)
 						idx += outW
 						continue
 					}
 					base := iy * w
+					if stride == 1 {
+						// Unit stride: the in-bounds taps ix = ox−pad+kx
+						// form one contiguous span — bulk-copy it and
+						// zero the out-of-bounds edges explicitly.
+						lo := pad - kx // first in-bounds ox
+						if lo < 0 {
+							lo = 0
+						}
+						hi := w - 1 + pad - kx + 1 // one past last in-bounds ox
+						if hi > outW {
+							hi = outW
+						}
+						if hi < lo {
+							hi = lo
+						}
+						zeroRange(row, idx, idx+lo)
+						copy(row[idx+lo:idx+hi], plane[base+lo-pad+kx:])
+						zeroRange(row, idx+hi, idx+outW)
+						idx += outW
+						continue
+					}
 					for ox := 0; ox < outW; ox++ {
 						ix := ox*stride - pad + kx
 						if ix >= 0 && ix < w {
 							row[idx] = plane[base+ix]
+						} else {
+							row[idx] = 0
 						}
 						idx++
 					}
@@ -49,7 +96,12 @@ func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return cols
+}
+
+func zeroRange(s []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s[i] = 0
+	}
 }
 
 // Col2Im scatter-adds a (C*kh*kw, outH*outW) column matrix back into a
