@@ -14,11 +14,12 @@ vet:
 # race exercises the concurrency-bearing packages — the parallel Fit
 # collection pass, the ScoreBatch worker pool, Monitor.CheckBatch, the
 # telemetry registry they all observe into, the serving micro-batcher,
-# the hunt scheduler fanning candidates across the scoring pool (its
-# worker-count determinism test included), and the experiment harness
-# that drives them — under the race detector.
+# the fleet gateway (router, probers, rollout), the hunt scheduler
+# fanning candidates across the scoring pool (its worker-count
+# determinism test included), and the experiment harness that drives
+# them — under the race detector.
 race:
-	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve ./internal/hunt .
+	$(GO) test -race -timeout 45m ./internal/core ./internal/experiment ./internal/telemetry ./internal/serve ./internal/gateway ./internal/hunt .
 
 # smoke runs the end-to-end checks against real processes: the
 # observability pass (train, score, scrape /metrics), the serving
@@ -31,7 +32,10 @@ race:
 # dvreport escape-rate table → committed-corpus regression test), and
 # the obs pass (wide-event log + rotation, dv_runtime_*/dv_slo_*
 # gauges, forced 429 burn to a cross-linked SLO breach event — against
-# a race-built dvserve).
+# a race-built dvserve), and the gateway pass (race-built 2-replica
+# fleet: rendezvous routing, kill -9 → drain with zero client 5xx,
+# reinstatement, corrupt-rollout refusal, halted rollout → automatic
+# rollback, retried rollout convergence).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
@@ -39,6 +43,7 @@ smoke:
 	./scripts/trace_smoke.sh
 	./scripts/hunt_smoke.sh
 	./scripts/obs_smoke.sh
+	./scripts/gateway_smoke.sh
 
 # perf is the allocation-regression gate for the scoring hot path:
 # bytes/op of BenchmarkScoreBatch/workers=1 must stay within 2x of the

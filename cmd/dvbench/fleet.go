@@ -1,0 +1,386 @@
+package main
+
+// The -fleet mode is the gateway load generator: it builds a tiny
+// detector, stands up an in-process fleet of dvserve replicas behind a
+// dvgateway router, and drives a scripted incident — healthy load, a
+// replica kill under load, drain, settle, restart, reinstatement —
+// recording the aggregate routing counters into BENCH_pipeline.json
+// under a "fleet" key. Every recorded figure is a counter or a state
+// transition: per the bench-host noise rule, wall-clock throughput on a
+// shared 1-CPU snapshot host measures scheduler luck, while "zero
+// settled-phase 5xx" and "exactly one drain and one reinstatement" are
+// deterministic claims a CI gate can hold.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"deepvalidation"
+	"deepvalidation/internal/artifact"
+	"deepvalidation/internal/gateway"
+	"deepvalidation/internal/serve"
+	"deepvalidation/internal/telemetry"
+)
+
+// fleetBandImages synthesizes the 3-class horizontal-band corpus the
+// serving test fixtures train on — small enough to fit a detector in
+// about a second at this scale.
+func fleetBandImages(seed int64, n int) ([]deepvalidation.Image, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	imgs := make([]deepvalidation.Image, 0, n)
+	labels := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(3)
+		px := make([]float64, 64)
+		for j := range px {
+			px[j] = 0.15 * rng.Float64()
+		}
+		for y := 2 * k; y < 2*k+3; y++ {
+			for x := 0; x < 8; x++ {
+				px[y*8+x] = 0.8 + 0.2*rng.Float64()
+			}
+		}
+		imgs = append(imgs, deepvalidation.Image{Channels: 1, Height: 8, Width: 8, Pixels: px})
+		labels = append(labels, k)
+	}
+	return imgs, labels
+}
+
+// fleetReplica is one in-process dvserve replica with a killable and
+// restartable HTTP front.
+type fleetReplica struct {
+	name string
+	srv  *serve.Server
+	hs   *http.Server
+	addr string
+	done chan error
+}
+
+func (p *fleetReplica) serveOn(ln net.Listener) {
+	p.addr = ln.Addr().String()
+	p.hs = &http.Server{Handler: p.srv.Handler()}
+	p.done = make(chan error, 1)
+	go func() { p.done <- p.hs.Serve(ln) }()
+}
+
+func (p *fleetReplica) kill() {
+	if p.hs == nil {
+		return
+	}
+	_ = p.hs.Close()
+	<-p.done
+	p.hs = nil
+}
+
+func (p *fleetReplica) restart() error {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		ln, err := net.Listen("tcp", p.addr)
+		if err == nil {
+			p.serveOn(ln)
+			return nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("rebinding %s: %w", p.addr, lastErr)
+}
+
+// fleetPhase is the counter outcome of one load phase.
+type fleetPhase struct {
+	Requests  int `json:"requests"`
+	OK        int `json:"ok"`
+	Client5xx int `json:"client_5xx"`
+}
+
+// fleetSnapshot is the "fleet" section of BENCH_pipeline.json.
+type fleetSnapshot struct {
+	Note           string           `json:"note"`
+	Replicas       int              `json:"replicas"`
+	DistinctKeys   int              `json:"distinct_keys"`
+	Healthy        fleetPhase       `json:"healthy"`
+	KilledMidLoad  fleetPhase       `json:"killed_mid_load"`
+	Settled        fleetPhase       `json:"settled"`
+	Reinstated     fleetPhase       `json:"reinstated"`
+	Retries        int64            `json:"retries_total"`
+	BudgetDenied   int64            `json:"retry_budget_exhausted_total"`
+	Shed           int64            `json:"shed_total"`
+	Unroutable     int64            `json:"unroutable_total"`
+	BadGateway     int64            `json:"bad_gateway_total"`
+	Drains         int64            `json:"drains_total"`
+	Reinstates     int64            `json:"reinstates_total"`
+	ReplicaRouted  map[string]int64 `json:"replica_requests_total"`
+	SettledZero5xx bool             `json:"settled_zero_5xx"`
+}
+
+// runFleet executes the scripted fleet incident and returns its
+// counter snapshot.
+func runFleet(replicas, keys int) (*fleetSnapshot, error) {
+	dir, err := os.MkdirTemp("", "dvbench-fleet-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(os.Stderr, "fleet: fitting the %d-replica fixture detector\n", replicas)
+	imgs, labels := fleetBandImages(1, 90)
+	det, err := deepvalidation.Build(imgs, labels, deepvalidation.BuildConfig{
+		Classes: 3, Epochs: 6, Width: 4, FCWidth: 16,
+		SVMPerClass: 30, SVMFeatures: 64, Seed: 5,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building fleet detector: %w", err)
+	}
+	clean, _ := fleetBandImages(2, 60)
+	eps, err := det.Calibrate(clean, 0.2)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating: %w", err)
+	}
+	modelPath := filepath.Join(dir, "model.dvart")
+	valPath := filepath.Join(dir, "validator.dvart")
+	if err := det.Save(modelPath, valPath); err != nil {
+		return nil, fmt.Errorf("saving artifacts: %w", err)
+	}
+
+	procs := make([]*fleetReplica, replicas)
+	specs := make([]gateway.ReplicaSpec, replicas)
+	for i := range procs {
+		name := fmt.Sprintf("replica%d", i+1)
+		rdir := filepath.Join(dir, name)
+		if err := os.MkdirAll(rdir, 0o755); err != nil {
+			return nil, err
+		}
+		mp, vp := filepath.Join(rdir, "model.dvart"), filepath.Join(rdir, "validator.dvart")
+		for _, cp := range [][2]string{{modelPath, mp}, {valPath, vp}} {
+			data, err := os.ReadFile(cp[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(cp[1], data, 0o644); err != nil {
+				return nil, err
+			}
+		}
+		loader := func() (*deepvalidation.Detector, error) { return deepvalidation.Load(mp, vp) }
+		d, err := loader()
+		if err != nil {
+			return nil, err
+		}
+		d.SetEpsilon(eps)
+		srv, err := serve.New(deepvalidation.NewHandle(d), serve.Config{
+			MaxBatch: 8, BatchWindow: time.Millisecond,
+			Loader: loader,
+			ArtifactInfo: func() (string, string) {
+				m, _ := artifact.ReadHeader(mp)
+				v, _ := artifact.ReadHeader(vp)
+				return m.Header.PayloadSHA256, v.Header.PayloadSHA256
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = &fleetReplica{name: name, srv: srv}
+		procs[i].serveOn(ln)
+		defer procs[i].kill()
+		specs[i] = gateway.ReplicaSpec{Name: name, Addr: procs[i].addr, ValidatorPath: vp}
+	}
+
+	reg := telemetry.New()
+	gw, err := gateway.New(gateway.Config{
+		Replicas:       specs,
+		ProbeInterval:  -1, // the script drives ProbeAll deterministically
+		DrainAfter:     2,
+		ReinstateAfter: 2,
+		MaxRetries:     1,
+		RetryBudgetCap: 256, // ample: the incident must be judged on routing, not budget luck
+		Registry:       reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+	gw.ProbeAll()
+
+	gws := &http.Server{Handler: gw.Handler()}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gws.Serve(gwLn) }()
+	defer func() { _ = gws.Close(); <-gwDone }()
+	base := "http://" + gwLn.Addr().String()
+
+	loadImgs, _ := fleetBandImages(42, keys)
+	bodies := make([][]byte, len(loadImgs))
+	for i, img := range loadImgs {
+		b, err := json.Marshal(serve.CheckRequest{Channels: img.Channels, Height: img.Height, Width: img.Width, Pixels: img.Pixels})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	sendAll := func() (fleetPhase, error) {
+		var ph fleetPhase
+		for _, body := range bodies {
+			ph.Requests++
+			resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return ph, err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				ph.OK++
+			case resp.StatusCode >= 500:
+				ph.Client5xx++
+			}
+		}
+		return ph, nil
+	}
+
+	snap := &fleetSnapshot{
+		Note: "scripted fleet incident (healthy -> kill replica under load -> drain -> settle -> restart -> reinstate) " +
+			"judged on counters and state transitions, never wall clock; settled_zero_5xx is the gated claim",
+		Replicas:      replicas,
+		DistinctKeys:  keys,
+		ReplicaRouted: map[string]int64{},
+	}
+
+	fmt.Fprintf(os.Stderr, "fleet: healthy phase (%d keys)\n", keys)
+	if snap.Healthy, err = sendAll(); err != nil {
+		return nil, fmt.Errorf("healthy phase: %w", err)
+	}
+
+	victim := procs[1]
+	fmt.Fprintf(os.Stderr, "fleet: killing %s under load\n", victim.name)
+	victim.kill()
+	if snap.KilledMidLoad, err = sendAll(); err != nil {
+		return nil, fmt.Errorf("kill phase: %w", err)
+	}
+	// Drive load until the route-path failures drain the victim.
+	for i := 0; ; i++ {
+		drained := false
+		for _, st := range gw.ReplicaStatuses() {
+			if st.Name == victim.name && st.State == "drained" {
+				drained = true
+			}
+		}
+		if drained {
+			break
+		}
+		if i >= 50 {
+			return nil, fmt.Errorf("victim %s never drained", victim.name)
+		}
+		ph, err := sendAll()
+		if err != nil {
+			return nil, fmt.Errorf("drain phase: %w", err)
+		}
+		snap.KilledMidLoad.Requests += ph.Requests
+		snap.KilledMidLoad.OK += ph.OK
+		snap.KilledMidLoad.Client5xx += ph.Client5xx
+	}
+
+	fmt.Fprintf(os.Stderr, "fleet: drain settled (%d/%d in rotation); settled phase\n", gw.InRotation(), replicas)
+	if snap.Settled, err = sendAll(); err != nil {
+		return nil, fmt.Errorf("settled phase: %w", err)
+	}
+	snap.SettledZero5xx = snap.Settled.Client5xx == 0
+
+	fmt.Fprintf(os.Stderr, "fleet: restarting %s\n", victim.name)
+	if err := victim.restart(); err != nil {
+		return nil, err
+	}
+	gw.ProbeAll() // drained -> reprobing
+	gw.ProbeAll() // reprobing -> healthy (ReinstateAfter 2)
+	if in := gw.InRotation(); in != replicas {
+		return nil, fmt.Errorf("%d replicas in rotation after reinstatement, want %d", in, replicas)
+	}
+	if snap.Reinstated, err = sendAll(); err != nil {
+		return nil, fmt.Errorf("reinstated phase: %w", err)
+	}
+
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	snap.Retries = counter(gateway.MetricRetries)
+	snap.BudgetDenied = counter(gateway.MetricRetryBudgetSpent)
+	snap.Shed = counter(gateway.MetricShed)
+	snap.Unroutable = counter(gateway.MetricUnroutable)
+	snap.BadGateway = counter(gateway.MetricBadGateway)
+	snap.Drains = counter(gateway.MetricDrains)
+	snap.Reinstates = counter(gateway.MetricReinstates)
+	for _, p := range procs {
+		snap.ReplicaRouted[p.name] = counter(telemetry.Label(gateway.MetricReplicaRequests, "replica", p.name))
+	}
+	return snap, nil
+}
+
+// mergeFleetSnapshot merges the fleet section into the committed
+// BENCH_pipeline.json, preserving every other key (the same merge
+// discipline the serve bench passes use).
+func mergeFleetSnapshot(path string, snap *fleetSnapshot) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("the pipeline snapshot must exist before the fleet merge (run `make snapshot` first): %w", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	section, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	doc["fleet"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runFleetMode is the -fleet entry point: run the incident, print the
+// counter summary, optionally merge it into the snapshot, and fail if
+// the settled phase saw any client 5xx.
+func runFleetMode(replicas, keys int, snapshotPath string) error {
+	if replicas < 2 {
+		return fmt.Errorf("-fleet needs at least 2 replicas (got %d): the incident kills one and routes around it", replicas)
+	}
+	snap, err := runFleet(replicas, keys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet incident (%d replicas, %d distinct keys):\n", snap.Replicas, snap.DistinctKeys)
+	fmt.Printf("  healthy:    %4d requests, %4d ok, %2d client 5xx\n", snap.Healthy.Requests, snap.Healthy.OK, snap.Healthy.Client5xx)
+	fmt.Printf("  kill+drain: %4d requests, %4d ok, %2d client 5xx (retries absorb the dead replica)\n",
+		snap.KilledMidLoad.Requests, snap.KilledMidLoad.OK, snap.KilledMidLoad.Client5xx)
+	fmt.Printf("  settled:    %4d requests, %4d ok, %2d client 5xx\n", snap.Settled.Requests, snap.Settled.OK, snap.Settled.Client5xx)
+	fmt.Printf("  reinstated: %4d requests, %4d ok, %2d client 5xx\n", snap.Reinstated.Requests, snap.Reinstated.OK, snap.Reinstated.Client5xx)
+	fmt.Printf("  counters: retries=%d budget_denied=%d shed=%d unroutable=%d bad_gateway=%d drains=%d reinstates=%d\n",
+		snap.Retries, snap.BudgetDenied, snap.Shed, snap.Unroutable, snap.BadGateway, snap.Drains, snap.Reinstates)
+	for name, n := range snap.ReplicaRouted {
+		fmt.Printf("  routed to %s: %d\n", name, n)
+	}
+	if snapshotPath != "" {
+		if err := mergeFleetSnapshot(snapshotPath, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fleet: merged counters into %s under \"fleet\"\n", snapshotPath)
+	}
+	if !snap.SettledZero5xx {
+		return fmt.Errorf("settled phase saw %d client 5xx, want 0 after the drain window", snap.Settled.Client5xx)
+	}
+	return nil
+}

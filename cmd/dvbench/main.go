@@ -45,8 +45,13 @@ func run() error {
 		workers  = flag.Int("workers", 0, "scoring/fitting worker bound (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 		telFlag  = flag.Bool("telemetry", false, "print a telemetry summary after the experiments")
-		addr     = flag.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. ":9090" or "127.0.0.1:0"; empty disables)`)
-		linger   = flag.Duration("metrics-linger", 0, "keep the metrics endpoint serving this long after the run finishes (for scrapers)")
+
+		fleetN    = flag.Int("fleet", 0, "run the gateway fleet load generator with this many in-process replicas instead of experiments (0 disables; min 2)")
+		fleetKeys = flag.Int("fleet-keys", 64, "distinct request bodies routed per fleet phase (rendezvous spread)")
+		fleetSnap = flag.String("fleet-snapshot", "", `merge the fleet counters into this BENCH_pipeline.json under "fleet" (empty skips the merge)`)
+
+		addr   = flag.String("metrics-addr", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. ":9090" or "127.0.0.1:0"; empty disables)`)
+		linger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint serving this long after the run finishes (for scrapers)")
 	)
 	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -76,6 +81,10 @@ func run() error {
 	}
 	if *telFlag {
 		defer func() { core.TelemetrySummary(os.Stdout, reg.Snapshot()) }()
+	}
+
+	if *fleetN > 0 {
+		return runFleetMode(*fleetN, *fleetKeys, *fleetSnap)
 	}
 
 	var sc experiment.Scale

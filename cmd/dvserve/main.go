@@ -138,18 +138,39 @@ func run() error {
 	}
 	defer func() { _ = events.Close() }()
 
-	// The runtime collector publishes dv_runtime_* and a dv_build_info
-	// series pinning the artifact checksums actually loaded.
-	var rt *obs.Runtime
-	if reg != nil {
-		info := map[string]string{}
+	// artifactSHAs reads the payload checksums of the artifacts on disk
+	// — the identity a fronting gateway compares during rollouts.
+	artifactSHAs := func() (modelSHA, valSHA string) {
 		if h, err := artifact.ReadHeader(*modelPath); err == nil {
-			info["model_sha256"] = h.Header.PayloadSHA256
+			modelSHA = h.Header.PayloadSHA256
 		}
 		if h, err := artifact.ReadHeader(*valPath); err == nil {
-			info["validator_sha256"] = h.Header.PayloadSHA256
+			valSHA = h.Header.PayloadSHA256
 		}
-		rt = obs.NewRuntime(reg, info)
+		return modelSHA, valSHA
+	}
+	// The runtime collector publishes dv_runtime_* and a dv_build_info
+	// series pinning the artifact checksums actually loaded. After a
+	// reload swaps artifacts the checksum labels change, so artifactInfo
+	// re-publishes the series and zeroes the stale one (labels are
+	// identity — the old series would otherwise stand at 1 forever).
+	// Calls are serialized: once at startup, then under the reload lock.
+	var buildInfoSeries string
+	artifactInfo := func() (string, string) {
+		m, v := artifactSHAs()
+		if reg != nil {
+			name := obs.PublishBuildInfo(reg, map[string]string{"model_sha256": m, "validator_sha256": v})
+			if buildInfoSeries != "" && buildInfoSeries != name {
+				reg.Gauge(buildInfoSeries).Set(0)
+			}
+			buildInfoSeries = name
+		}
+		return m, v
+	}
+	var rt *obs.Runtime
+	if reg != nil {
+		m, v := artifactSHAs()
+		rt = obs.NewRuntime(reg, map[string]string{"model_sha256": m, "validator_sha256": v})
 		rt.Start(0)
 		defer rt.Stop()
 	}
@@ -176,6 +197,7 @@ func run() error {
 		RequestTimeout: *reqTimeout,
 		RetryAfter:     *retryAfter,
 		Loader:         load,
+		ArtifactInfo:   artifactInfo,
 		Registry:       reg,
 
 		ReloadRetries:     *reloadRetry,
@@ -220,7 +242,7 @@ func run() error {
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz, /debug/dv/{trace,flight,drift,events,slo} on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dvserve: serving /v1/check, /v1/batch, /v1/reload, /healthz, /readyz, /admin/drain, /debug/dv/{trace,flight,drift,events,slo} on http://%s\n", ln.Addr())
 	fmt.Fprintf(os.Stderr, "dvserve: ready (eps %.4f, max-batch %d, batch-window %v, queue-depth %d, dispatch-workers %d, trace-sample %g, drift %s)\n",
 		det.Epsilon(), *maxBatch, *window, *queueDepth, *dispatchers, *traceSample, driftMode(srv))
 

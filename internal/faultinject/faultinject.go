@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,18 @@ const (
 	// PointServeBatch fires before a micro-batch is scored; an injected
 	// error forces the batch onto the per-request fallback path.
 	PointServeBatch = "serve.batch"
+	// PointGatewayRoute fires before the gateway forwards a request to
+	// the replica routing chose, simulating a connect failure so the
+	// retry-budget path can be driven deterministically.
+	PointGatewayRoute = "gateway.route"
+	// PointGatewayProbe fires before a gateway health probe, forcing the
+	// probe to count as a failure — the "replica unreachable" shape
+	// without killing a process.
+	PointGatewayProbe = "gateway.probe"
+	// PointGatewayRollout fires before each per-replica switch of a
+	// staged rollout; armed with a count it halts the rollout midway and
+	// exercises the rollback path.
+	PointGatewayRollout = "gateway.rollout"
 )
 
 // points holds the armed fault functions. The map is copy-on-write
@@ -61,12 +74,28 @@ var (
 )
 
 func init() {
-	if env := os.Getenv("DV_FAULT"); env != "" {
-		for _, name := range strings.Split(env, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				Arm(name, nil)
-			}
+	ArmFromSpec(os.Getenv("DV_FAULT"))
+}
+
+// ArmFromSpec arms points from a DV_FAULT-style spec: a comma-separated
+// list of point names, each optionally suffixed `:N` to fail only the
+// first N checks (ArmCount) instead of failing forever. Unparseable
+// counts arm the bare name, keeping the env path forgiving — chaos
+// scripts prefer an always-failing point over a silently disarmed one.
+func ArmFromSpec(spec string) {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
 		}
+		if name, count, ok := strings.Cut(entry, ":"); ok {
+			if n, err := strconv.ParseInt(count, 10, 64); err == nil && n > 0 {
+				ArmCount(name, n)
+				continue
+			}
+			entry = name
+		}
+		Arm(entry, nil)
 	}
 }
 

@@ -1,0 +1,178 @@
+package gateway
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepvalidation/internal/telemetry"
+)
+
+// TestChaosKillRestartMidLoad is the fleet chaos leg: kill one replica
+// while load is flowing, let the drain settle, and demand zero client
+// 5xx afterwards — then restart the replica and watch the success
+// streak reinstate it and traffic return. Every assertion is a counter
+// or a state, never a wall-clock measurement.
+func TestChaosKillRestartMidLoad(t *testing.T) {
+	g, procs, reg := newFleet(t, 3, func(c *Config) {
+		c.DrainAfter = 2
+		c.ReinstateAfter = 2
+		c.MaxRetries = 1
+		// Ample budget: the kill window's retries must never be denied,
+		// or the zero-5xx guarantee would hinge on traffic volume.
+		c.RetryBudgetCap = 256
+	})
+	ts := gwServer(t, g)
+	bodies := distinctBodies(t, 24)
+
+	routedTo := func(name string) int64 {
+		return counterValue(t, reg, telemetry.Label(MetricReplicaRequests, "replica", name))
+	}
+	sendAll := func(strict bool) (fiveXX int) {
+		t.Helper()
+		for _, body := range bodies {
+			resp, data := post(t, ts.URL+"/v1/check", body)
+			if resp.StatusCode >= 500 {
+				if strict {
+					t.Fatalf("client got %d after drain settled: %s", resp.StatusCode, data)
+				}
+				fiveXX++
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("unexpected status %d: %s", resp.StatusCode, data)
+			}
+		}
+		return fiveXX
+	}
+
+	// Healthy fleet: all 200s, and rendezvous uses every replica.
+	sendAll(true)
+	for _, p := range procs {
+		if routedTo(p.name) == 0 {
+			t.Fatalf("replica %s got no traffic across %d distinct keys", p.name, len(bodies))
+		}
+	}
+
+	victim := procs[1]
+	victimRep := g.replicas[1]
+	victim.kill()
+
+	// Mid-load: concurrent clients while the victim is dead. Retries
+	// should absorb the failures (tolerated, not asserted — that is what
+	// the settled phase pins down); the route-path observations drain
+	// the victim without a single probe tick.
+	var midFiveXX atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for _, body := range bodies {
+					resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode >= 500 {
+						midFiveXX.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drive load until the drain settles (bounded; each round routes
+	// victim-keyed requests into transport failures that feed the
+	// health machine).
+	for i := 0; victimRep.state() != StateDrained; i++ {
+		if i >= 50 {
+			t.Fatalf("victim never drained; state %v", victimRep.state())
+		}
+		sendAll(false)
+	}
+	if g.InRotation() != 2 {
+		t.Fatalf("%d replicas in rotation after drain, want 2", g.InRotation())
+	}
+	if n := counterValue(t, reg, MetricDrains); n != 1 {
+		t.Fatalf("drains counter %d, want 1", n)
+	}
+
+	// Settled: zero 5xx, and the bad-gateway counter must not move.
+	badBefore := counterValue(t, reg, MetricBadGateway)
+	for round := 0; round < 3; round++ {
+		sendAll(true)
+	}
+	if badAfter := counterValue(t, reg, MetricBadGateway); badAfter != badBefore {
+		t.Fatalf("bad-gateway counter moved %d -> %d after drain settled", badBefore, badAfter)
+	}
+	t.Logf("mid-kill 5xx seen by clients: %d (tolerated; settled phase saw none)", midFiveXX.Load())
+
+	// Resurrect the victim: one probe success only re-probes, the
+	// second reinstates (ReinstateAfter 2).
+	victim.restart()
+	g.ProbeAll()
+	if st := victimRep.state(); st != StateReprobing {
+		t.Fatalf("victim state %v after first good probe, want reprobing", st)
+	}
+	if g.InRotation() != 2 {
+		t.Fatal("reprobing replica must not yet be in rotation")
+	}
+	g.ProbeAll()
+	if st := victimRep.state(); st != StateHealthy {
+		t.Fatalf("victim state %v after success streak, want healthy", st)
+	}
+	if g.InRotation() != 3 {
+		t.Fatalf("%d replicas in rotation after reinstatement, want 3", g.InRotation())
+	}
+	if n := counterValue(t, reg, MetricReinstates); n != 1 {
+		t.Fatalf("reinstates counter %d, want 1", n)
+	}
+
+	// Traffic returns to the reinstated replica: rendezvous hands its
+	// keys back.
+	before := routedTo(victim.name)
+	sendAll(true)
+	if after := routedTo(victim.name); after <= before {
+		t.Fatalf("reinstated replica got no traffic (routed %d -> %d)", before, after)
+	}
+}
+
+// TestBatchEndpointRoutes pins that /v1/batch flows through the same
+// routing as /v1/check and increments its own request counter.
+func TestBatchEndpointRoutes(t *testing.T) {
+	g, reg := fakeFleet(t, map[string]http.HandlerFunc{"a": echoReplica("a")}, nil)
+	ts := gwServer(t, g)
+	resp, body := post(t, ts.URL+"/v1/batch", []byte(`{"images":[]}`))
+	if resp.StatusCode != http.StatusOK || body != "a" {
+		t.Fatalf("batch status %d body %q, want 200 from a", resp.StatusCode, body)
+	}
+	if n := counterValue(t, reg, telemetry.Label(MetricRequests, "endpoint", "batch")); n != 1 {
+		t.Fatalf("batch request counter %d, want 1", n)
+	}
+}
+
+// TestGatewayGracefulClose pins that Close stops the probers promptly
+// even with a short probe interval armed.
+func TestGatewayGracefulClose(t *testing.T) {
+	g, _ := fakeFleet(t, map[string]http.HandlerFunc{"a": echoReplica("a")}, func(c *Config) {
+		c.ProbeInterval = 5 * time.Millisecond
+	})
+	done := make(chan struct{})
+	go func() {
+		g.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not stop the probers")
+	}
+}

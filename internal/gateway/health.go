@@ -1,0 +1,142 @@
+package gateway
+
+import (
+	"time"
+)
+
+// State is a replica's position in the gateway's health lifecycle.
+//
+//	Healthy ──fail── Degraded ──fail streak── Drained
+//	   ▲                │                        │ ▲
+//	   │◄──ok───────────┘            ok (probe)  │ │ fail
+//	   │                                         ▼ │
+//	   └────────ok streak──────────────────── Reprobing
+//
+// Healthy and Degraded replicas stay in rotation: a single probe
+// failure is routine (GC pause, packet loss) and draining on it would
+// amplify blips into outages. Drained and Reprobing replicas receive no
+// traffic; reinstatement requires ReinstateAfter consecutive probe
+// successes so a flapping replica cannot oscillate in and out.
+type State int8
+
+const (
+	StateHealthy State = iota
+	StateDegraded
+	StateDrained
+	StateReprobing
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDrained:
+		return "drained"
+	case StateReprobing:
+		return "reprobing"
+	}
+	return "unknown"
+}
+
+// InRotation reports whether a replica in this state receives routed
+// traffic.
+func (s State) InRotation() bool {
+	return s == StateHealthy || s == StateDegraded
+}
+
+// healthConfig parameterizes one replica's health machine.
+type healthConfig struct {
+	// drainAfter is the consecutive-failure streak that takes the
+	// replica out of rotation.
+	drainAfter int
+	// reinstateAfter is the consecutive-success streak a drained replica
+	// must accumulate before rejoining rotation.
+	reinstateAfter int
+	// backoff and backoffCap bound the capped-exponential re-probe
+	// schedule while drained: each further failure doubles the delay
+	// until the next probe attempt, up to the cap.
+	backoff    time.Duration
+	backoffCap time.Duration
+}
+
+// healthMachine is the per-replica state machine. It is pure — no
+// clocks, no goroutines, no I/O — so transitions are table-testable;
+// the prober owns the clock and feeds observations in. Not
+// goroutine-safe: callers serialize access (the gateway holds the
+// replica mutex).
+type healthMachine struct {
+	cfg        healthConfig
+	state      State
+	failStreak int
+	okStreak   int
+	// backoff is the current re-probe delay while drained; nextProbe is
+	// the earliest instant the prober should try again.
+	backoff   time.Duration
+	nextProbe time.Time
+}
+
+// observe feeds one health observation (a probe result, or a route-path
+// transport outcome) into the machine and returns the transition it
+// caused (prev == next when nothing changed).
+func (m *healthMachine) observe(ok bool, now time.Time) (prev, next State) {
+	prev = m.state
+	if ok {
+		m.failStreak = 0
+		switch m.state {
+		case StateHealthy, StateDegraded:
+			m.state = StateHealthy
+		case StateDrained, StateReprobing:
+			m.okStreak++
+			if m.okStreak >= m.cfg.reinstateAfter {
+				m.state = StateHealthy
+				m.okStreak = 0
+				m.backoff = 0
+			} else {
+				m.state = StateReprobing
+			}
+		}
+		return prev, m.state
+	}
+	m.okStreak = 0
+	m.failStreak++
+	switch m.state {
+	case StateHealthy, StateDegraded:
+		if m.failStreak >= m.cfg.drainAfter {
+			m.drain(now)
+		} else {
+			m.state = StateDegraded
+		}
+	case StateDrained, StateReprobing:
+		// A failure mid-reinstatement re-drains and doubles the backoff:
+		// the replica is flapping, so probe it less often.
+		m.state = StateDrained
+		m.backoff *= 2
+		if m.backoff <= 0 {
+			m.backoff = m.cfg.backoff
+		}
+		if m.backoff > m.cfg.backoffCap {
+			m.backoff = m.cfg.backoffCap
+		}
+		m.nextProbe = now.Add(m.backoff)
+	}
+	return prev, m.state
+}
+
+// drain moves the machine to Drained and starts the re-probe schedule.
+func (m *healthMachine) drain(now time.Time) {
+	m.state = StateDrained
+	m.backoff = m.cfg.backoff
+	m.nextProbe = now.Add(m.backoff)
+}
+
+// probeDue reports whether the re-probe backoff allows probing at now.
+// Replicas in rotation are always due: the jittered interval is their
+// only schedule.
+func (m *healthMachine) probeDue(now time.Time) bool {
+	if m.state != StateDrained {
+		return true
+	}
+	return !now.Before(m.nextProbe)
+}

@@ -1,0 +1,167 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// step is one scripted observation fed to the health machine.
+type step struct {
+	ok   bool
+	want State
+}
+
+func runScript(t *testing.T, cfg healthConfig, script []step) *healthMachine {
+	t.Helper()
+	m := &healthMachine{cfg: cfg}
+	now := time.Unix(0, 0)
+	for i, s := range script {
+		now = now.Add(time.Second)
+		prev, next := m.observe(s.ok, now)
+		if next != s.want {
+			t.Fatalf("step %d (ok=%v): state %v, want %v (prev %v)", i, s.ok, next, s.want, prev)
+		}
+		if m.state != next {
+			t.Fatalf("step %d: observe returned %v but machine holds %v", i, next, m.state)
+		}
+	}
+	return m
+}
+
+func TestHealthTransitions(t *testing.T) {
+	cfg := healthConfig{drainAfter: 3, reinstateAfter: 2, backoff: time.Second, backoffCap: 4 * time.Second}
+	tests := []struct {
+		name   string
+		script []step
+	}{
+		{"stays healthy on success", []step{
+			{true, StateHealthy}, {true, StateHealthy},
+		}},
+		{"single failure only degrades", []step{
+			{false, StateDegraded}, {true, StateHealthy},
+		}},
+		{"failure streak drains", []step{
+			{false, StateDegraded}, {false, StateDegraded}, {false, StateDrained},
+		}},
+		{"success resets the failure streak", []step{
+			{false, StateDegraded}, {false, StateDegraded}, {true, StateHealthy},
+			{false, StateDegraded}, {false, StateDegraded}, {false, StateDrained},
+		}},
+		{"full lifecycle healthy to drained to reprobing to healthy", []step{
+			{false, StateDegraded}, {false, StateDegraded}, {false, StateDrained},
+			{true, StateReprobing}, {true, StateHealthy},
+		}},
+		{"failure mid-reinstatement re-drains", []step{
+			{false, StateDegraded}, {false, StateDegraded}, {false, StateDrained},
+			{true, StateReprobing}, {false, StateDrained},
+			{true, StateReprobing}, {true, StateHealthy},
+		}},
+		{"ok streak must be consecutive", []step{
+			{false, StateDegraded}, {false, StateDegraded}, {false, StateDrained},
+			{true, StateReprobing}, {false, StateDrained}, {true, StateReprobing},
+			{false, StateDrained}, {true, StateReprobing}, {true, StateHealthy},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			runScript(t, cfg, tc.script)
+		})
+	}
+}
+
+func TestHealthRotationMembership(t *testing.T) {
+	for _, tc := range []struct {
+		state State
+		want  bool
+	}{
+		{StateHealthy, true},
+		{StateDegraded, true},
+		{StateDrained, false},
+		{StateReprobing, false},
+	} {
+		if got := tc.state.InRotation(); got != tc.want {
+			t.Errorf("%v.InRotation() = %v, want %v", tc.state, got, tc.want)
+		}
+	}
+}
+
+// TestHealthBackoffDoublesAndCaps pins the capped-exponential re-probe
+// schedule: each failure while drained doubles the delay up to the cap,
+// and reinstatement resets it.
+func TestHealthBackoffDoublesAndCaps(t *testing.T) {
+	cfg := healthConfig{drainAfter: 1, reinstateAfter: 1, backoff: time.Second, backoffCap: 4 * time.Second}
+	m := &healthMachine{cfg: cfg}
+	now := time.Unix(0, 0)
+
+	m.observe(false, now) // drains immediately (drainAfter 1)
+	if m.state != StateDrained {
+		t.Fatalf("state %v after first failure, want drained", m.state)
+	}
+	for i, want := range []time.Duration{2 * time.Second, 4 * time.Second, 4 * time.Second, 4 * time.Second} {
+		m.observe(false, now)
+		if m.backoff != want {
+			t.Fatalf("failure %d while drained: backoff %v, want %v", i+2, m.backoff, want)
+		}
+		if got := m.nextProbe; got != now.Add(want) {
+			t.Fatalf("failure %d: nextProbe %v, want %v", i+2, got, now.Add(want))
+		}
+	}
+
+	// probeDue honors the schedule while drained...
+	if m.probeDue(now) {
+		t.Fatal("probe due immediately despite backoff")
+	}
+	if !m.probeDue(now.Add(4 * time.Second)) {
+		t.Fatal("probe not due at the scheduled instant")
+	}
+
+	// ...and reinstatement clears the backoff for the next incident.
+	m.observe(true, now)
+	if m.state != StateHealthy {
+		t.Fatalf("state %v after reinstating success, want healthy", m.state)
+	}
+	if m.backoff != 0 {
+		t.Fatalf("backoff %v after reinstatement, want 0", m.backoff)
+	}
+	if !m.probeDue(now) {
+		t.Fatal("healthy replica must always be probe-due")
+	}
+}
+
+func TestHealthProbeDueInRotation(t *testing.T) {
+	m := &healthMachine{cfg: healthConfig{drainAfter: 2, reinstateAfter: 1, backoff: time.Hour, backoffCap: time.Hour}}
+	now := time.Unix(0, 0)
+	if !m.probeDue(now) {
+		t.Fatal("healthy replica not probe-due")
+	}
+	m.observe(false, now)
+	if !m.probeDue(now) {
+		t.Fatal("degraded replica not probe-due")
+	}
+	m.observe(false, now)
+	if m.state != StateDrained {
+		t.Fatalf("state %v, want drained", m.state)
+	}
+	if m.probeDue(now.Add(time.Minute)) {
+		t.Fatal("drained replica probe-due inside its backoff window")
+	}
+	// Reprobing replicas poll on the regular cadence again.
+	m.observe(true, now.Add(time.Hour))
+	if m.state != StateHealthy {
+		t.Fatalf("state %v, want healthy (reinstateAfter 1)", m.state)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateHealthy:   "healthy",
+		StateDegraded:  "degraded",
+		StateDrained:   "drained",
+		StateReprobing: "reprobing",
+		State(42):      "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

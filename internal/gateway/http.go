@@ -1,0 +1,153 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// errorResponse mirrors dvserve's uniform error body, so clients parse
+// one shape no matter which layer answered.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// Handler returns the gateway's routing table:
+//
+//	POST /v1/check       — route one image to a replica (retried per budget)
+//	POST /v1/batch       — route one batch to a replica
+//	POST /admin/rollout  — staged artifact rollout across the fleet
+//	GET  /admin/replicas — per-replica health, load, and artifact identity
+//	GET  /healthz        — gateway process liveness
+//	GET  /readyz         — fleet routability (200 while ≥1 replica is in rotation)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", func(w http.ResponseWriter, r *http.Request) {
+		g.reqCheck.Inc()
+		g.proxy("check", w, r)
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		g.reqBatch.Inc()
+		g.proxy("batch", w, r)
+	})
+	mux.HandleFunc("/admin/rollout", g.handleRollout)
+	mux.HandleFunc("/admin/replicas", g.handleReplicas)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	return mux
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ReplicaStatus is one replica's row in /admin/replicas and the /readyz
+// JSON tail.
+type ReplicaStatus struct {
+	Name       string `json:"name"`
+	Addr       string `json:"addr"`
+	State      string `json:"state"`
+	InRotation bool   `json:"in_rotation"`
+	Inflight   int64  `json:"inflight"`
+	FailStreak int    `json:"fail_streak"`
+	// ModelSHA256 and ValidatorSHA256 are the artifact checksums last
+	// seen on the replica's /readyz JSON tail — the identity rollouts
+	// converge on.
+	ModelSHA256     string `json:"model_sha256,omitempty"`
+	ValidatorSHA256 string `json:"validator_sha256,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// status snapshots one replica under its lock.
+func (r *replica) status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Name:            r.name,
+		Addr:            r.addr,
+		State:           r.hm.state.String(),
+		InRotation:      r.hm.state.InRotation(),
+		Inflight:        r.inflight.Load(),
+		FailStreak:      r.hm.failStreak,
+		ModelSHA256:     r.lastReadyz.ModelSHA256,
+		ValidatorSHA256: r.lastReadyz.ValidatorSHA256,
+		LastError:       r.lastErr,
+	}
+}
+
+// ReplicaStatuses snapshots the whole fleet in configuration order.
+func (g *Gateway) ReplicaStatuses() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(g.replicas))
+	for i, r := range g.replicas {
+		out[i] = r.status()
+	}
+	return out
+}
+
+// replicasResponse is the body of GET /admin/replicas.
+type replicasResponse struct {
+	Count      int             `json:"count"`
+	InRotation int             `json:"in_rotation"`
+	Replicas   []ReplicaStatus `json:"replicas"`
+}
+
+func (g *Gateway) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, replicasResponse{
+		Count:      len(g.replicas),
+		InRotation: g.InRotation(),
+		Replicas:   g.ReplicaStatuses(),
+	})
+}
+
+// ReadyzBody is the machine-parseable JSON tail of the gateway's own
+// /readyz, mirroring dvserve's layout: plain-text lines first for
+// probes and smoke scripts, one JSON line last for machines.
+type ReadyzBody struct {
+	Status     string          `json:"status"`
+	InRotation int             `json:"in_rotation"`
+	Replicas   []ReplicaStatus `json:"replicas"`
+}
+
+// handleReadyz reports fleet routability. Like dvserve's /readyz the
+// body is layered: line 1 the bare status word, line 2 the rotation
+// summary, line 3 the full JSON document. The gateway is ready while at
+// least one replica is in rotation — a degraded fleet that can still
+// serve should keep receiving traffic.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	statuses := g.ReplicaStatuses()
+	in := 0
+	for _, st := range statuses {
+		if st.InRotation {
+			in++
+		}
+	}
+	status, code := "ready", http.StatusOK
+	if in == 0 {
+		status, code = "unroutable", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	fmt.Fprintln(w, status)
+	fmt.Fprintf(w, "replicas: %d/%d in rotation\n", in, len(statuses))
+	body, err := json.Marshal(ReadyzBody{Status: status, InRotation: in, Replicas: statuses})
+	if err == nil {
+		w.Write(body)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,275 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"deepvalidation/internal/faultinject"
+)
+
+func rolloutPost(t *testing.T, gwURL, artifactPath string) (*http.Response, RolloutResponse) {
+	t.Helper()
+	body, _ := json.Marshal(RolloutRequest{Artifact: artifactPath})
+	resp, err := http.Post(gwURL+"/admin/rollout", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out RolloutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding rollout response: %v", err)
+	}
+	return resp, out
+}
+
+func fleetReplicas(t *testing.T, gwURL string) replicasResponse {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/admin/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out replicasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRolloutConverges pushes the v2 validator across a 2-replica fleet
+// and verifies convergence end to end: HTTP outcome, on-disk payload
+// checksums, the gateway's fleet view, and post-rollout serving.
+func TestRolloutConverges(t *testing.T) {
+	g, procs, reg := newFleet(t, 2, nil)
+	ts := gwServer(t, g)
+	v1 := headerSHA(testValPath)
+	v2 := headerSHA(testValV2Path)
+	if v1 == v2 || v1 == "" || v2 == "" {
+		t.Fatalf("fixture validators must differ: v1 %q v2 %q", v1, v2)
+	}
+
+	// The fleet view starts on v1 (seeded by newFleet's ProbeAll).
+	for _, st := range fleetReplicas(t, ts.URL).Replicas {
+		if st.ValidatorSHA256 != v1 {
+			t.Fatalf("replica %s starts on %s, want v1 %s", st.Name, shortSHA(st.ValidatorSHA256), shortSHA(v1))
+		}
+	}
+
+	resp, out := rolloutPost(t, ts.URL, testValV2Path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollout status %d: %+v", resp.StatusCode, out)
+	}
+	if !out.Completed || out.TargetSHA256 != v2 {
+		t.Fatalf("rollout response %+v, want completed on %s", out, shortSHA(v2))
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("rollout touched %d replicas, want 2", len(out.Replicas))
+	}
+	for _, rr := range out.Replicas {
+		if !rr.Switched || !rr.Converged || rr.RolledBack || rr.Error != "" {
+			t.Fatalf("replica %s outcome %+v, want switched+converged", rr.Name, rr)
+		}
+	}
+	for _, p := range procs {
+		if got := headerSHA(p.valP); got != v2 {
+			t.Fatalf("replica %s disk artifact is %s, want v2 %s", p.name, shortSHA(got), shortSHA(v2))
+		}
+	}
+	for _, st := range fleetReplicas(t, ts.URL).Replicas {
+		if st.ValidatorSHA256 != v2 {
+			t.Fatalf("fleet view: replica %s on %s, want v2 %s", st.Name, shortSHA(st.ValidatorSHA256), shortSHA(v2))
+		}
+		if !st.InRotation {
+			t.Fatalf("replica %s out of rotation after rollout", st.Name)
+		}
+	}
+	if n := counterValue(t, reg, MetricRollouts); n != 1 {
+		t.Fatalf("rollouts counter %d, want 1", n)
+	}
+	if n := counterValue(t, reg, MetricRollbacks); n != 0 {
+		t.Fatalf("rollbacks counter %d, want 0", n)
+	}
+
+	// The converged fleet still serves.
+	for _, body := range distinctBodies(t, 6) {
+		rc, data := post(t, ts.URL+"/v1/check", body)
+		if rc.StatusCode != http.StatusOK {
+			t.Fatalf("post-rollout check: status %d body %s", rc.StatusCode, data)
+		}
+	}
+}
+
+// TestRolloutHaltsAndRollsBack is the acceptance scenario: the staged
+// switch fails on replica 2 (its reloads are fault-injected to fail
+// through every retry), the rollout halts, and replica 1 — already
+// switched — rolls back, leaving every replica on the prior SHA both on
+// disk and in the serving processes.
+func TestRolloutHaltsAndRollsBack(t *testing.T) {
+	g, procs, reg := newFleet(t, 3, nil)
+	ts := gwServer(t, g)
+	v1 := headerSHA(testValPath)
+	v2 := headerSHA(testValV2Path)
+
+	// Reload call #1 is replica 1's rollout reload (succeeds); calls
+	// #2..#4 are replica 2's ReloadRetries=3 attempts (all fail, halting
+	// the rollout); call #5 is replica 1's rollback reload (succeeds).
+	var call atomic.Int64
+	faultinject.Arm(faultinject.PointServeReload, func() error {
+		if n := call.Add(1); n >= 2 && n <= 4 {
+			return errors.New("injected reload failure")
+		}
+		return nil
+	})
+	t.Cleanup(faultinject.Reset)
+
+	resp, out := rolloutPost(t, ts.URL, testValV2Path)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("halted rollout status %d, want 500 (%+v)", resp.StatusCode, out)
+	}
+	if out.Completed {
+		t.Fatal("halted rollout reported completed")
+	}
+	if out.Error == "" || !strings.Contains(out.Error, "rolled back") {
+		t.Fatalf("rollout error %q, want a halted-and-rolled-back report", out.Error)
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("rollout report covers %d replicas, want 2 (halt must stop before replica 3)", len(out.Replicas))
+	}
+	r1, r2 := out.Replicas[0], out.Replicas[1]
+	if !r1.Switched || !r1.RolledBack || r1.Converged {
+		t.Fatalf("replica 1 outcome %+v, want switched then rolled back", r1)
+	}
+	if r2.Switched || !strings.Contains(r2.Error, "reload failed") {
+		t.Fatalf("replica 2 outcome %+v, want reload failure without a switch", r2)
+	}
+
+	// Every replica — switched, failed, and untouched — is back on v1.
+	for _, p := range procs {
+		if got := headerSHA(p.valP); got != v1 {
+			t.Fatalf("replica %s disk artifact is %s after rollback, want v1 %s", p.name, shortSHA(got), shortSHA(v1))
+		}
+	}
+	faultinject.Reset()
+	g.ProbeAll()
+	view := fleetReplicas(t, ts.URL)
+	if view.InRotation != 3 {
+		t.Fatalf("%d replicas in rotation after rollback, want 3", view.InRotation)
+	}
+	for _, st := range view.Replicas {
+		if st.ValidatorSHA256 != v1 {
+			t.Fatalf("fleet view: replica %s on %s after rollback, want v1 %s", st.Name, shortSHA(st.ValidatorSHA256), shortSHA(v1))
+		}
+	}
+	if n := counterValue(t, reg, MetricRolloutsFailed); n != 1 {
+		t.Fatalf("rollouts-failed counter %d, want 1", n)
+	}
+	if n := counterValue(t, reg, MetricRollbacks); n != 1 {
+		t.Fatalf("rollbacks counter %d, want 1", n)
+	}
+	if n := counterValue(t, reg, MetricRollouts); n != 0 {
+		t.Fatalf("completed-rollouts counter %d, want 0", n)
+	}
+
+	// The healed fleet accepts the same rollout cleanly.
+	resp, out = rolloutPost(t, ts.URL, testValV2Path)
+	if resp.StatusCode != http.StatusOK || !out.Completed {
+		t.Fatalf("retried rollout status %d (%+v), want success after healing", resp.StatusCode, out)
+	}
+	for _, p := range procs {
+		if got := headerSHA(p.valP); got != v2 {
+			t.Fatalf("replica %s on %s after retried rollout, want v2 %s", p.name, shortSHA(got), shortSHA(v2))
+		}
+	}
+}
+
+// TestRolloutPreconditions pins the refusal paths: corrupt or
+// wrong-kind staged artifacts are rejected before any replica is
+// touched, and a degraded fleet refuses to roll at all.
+func TestRolloutPreconditions(t *testing.T) {
+	g, procs, _ := newFleet(t, 2, nil)
+	ts := gwServer(t, g)
+	v1 := headerSHA(testValPath)
+
+	t.Run("missing artifact", func(t *testing.T) {
+		resp, out := rolloutPost(t, ts.URL, "/nonexistent/staged.dvart")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400 (%+v)", resp.StatusCode, out)
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		resp, out := rolloutPost(t, ts.URL, testModelPath)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(out.Error, "kind") {
+			t.Fatalf("status %d error %q, want 400 rejecting a model artifact", resp.StatusCode, out.Error)
+		}
+	})
+	t.Run("degraded fleet", func(t *testing.T) {
+		r := g.replicas[1]
+		r.mu.Lock()
+		prev := r.hm.state
+		r.hm.state = StateDrained
+		r.mu.Unlock()
+		defer func() {
+			r.mu.Lock()
+			r.hm.state = prev
+			r.mu.Unlock()
+		}()
+		resp, out := rolloutPost(t, ts.URL, testValV2Path)
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("status %d, want 409 with a drained replica (%+v)", resp.StatusCode, out)
+		}
+	})
+	// No precondition failure may have touched any disk.
+	for _, p := range procs {
+		if got := headerSHA(p.valP); got != v1 {
+			t.Fatalf("replica %s disk artifact is %s after refused rollouts, want v1 %s", p.name, shortSHA(got), shortSHA(v1))
+		}
+	}
+}
+
+func TestRolloutRequiresValidatorPath(t *testing.T) {
+	g, _ := fakeFleet(t, map[string]http.HandlerFunc{"a": echoReplica("a")}, nil)
+	ts := gwServer(t, g)
+	resp, out := rolloutPost(t, ts.URL, testValV2Path)
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(out.Error, "validator path") {
+		t.Fatalf("status %d error %q, want 409 for a replica without a validator path", resp.StatusCode, out.Error)
+	}
+}
+
+func TestRolloutEndpointValidation(t *testing.T) {
+	g, _ := fakeFleet(t, map[string]http.HandlerFunc{"a": echoReplica("a")}, nil)
+	ts := gwServer(t, g)
+	for _, tc := range []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"GET refused", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/admin/rollout")
+		}, http.StatusMethodNotAllowed},
+		{"bad JSON", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/admin/rollout", "application/json", strings.NewReader("{"))
+		}, http.StatusBadRequest},
+		{"unknown field", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/admin/rollout", "application/json", strings.NewReader(`{"artifcat":"x"}`))
+		}, http.StatusBadRequest},
+		{"empty artifact", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/admin/rollout", "application/json", strings.NewReader(`{}`))
+		}, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := tc.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,269 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+
+	"deepvalidation/internal/faultinject"
+	"deepvalidation/internal/serve"
+	"deepvalidation/internal/trace"
+)
+
+// routeKey derives the placement key for one request: the client's
+// X-DV-Trace-Id when present (so a traced request is replayable against
+// the same replica), otherwise the FNV-1a hash of the body — identical
+// payloads land on the same replica, which keeps any replica-local
+// caching and flight-recorder context coherent.
+func routeKey(r *http.Request, body []byte) uint64 {
+	h := fnv.New64a()
+	if id := r.Header.Get(trace.HeaderTraceID); id != "" {
+		_, _ = io.WriteString(h, id)
+	} else {
+		_, _ = h.Write(body)
+	}
+	return h.Sum64()
+}
+
+// rendezvousScore is the highest-random-weight score of (key, replica):
+// each replica hashes the key with its own name salted in, and the
+// highest score wins. Adding or removing a replica only remaps the keys
+// whose winner changed — no ring maintenance, no global reshuffle.
+func rendezvousScore(key uint64, name string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(key >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = io.WriteString(h, name)
+	return h.Sum64()
+}
+
+// Routing failure modes pick distinguishes for the shed paths.
+var (
+	errNoReplicas   = errors.New("gateway: no replicas in rotation")
+	errAllSaturated = errors.New("gateway: every in-rotation replica is at its in-flight cap")
+)
+
+// pick places a key: the rendezvous winner among in-rotation replicas
+// not in exclude, falling back to the least-loaded eligible replica
+// when the winner is at its in-flight cap. Deterministic given the same
+// rotation set and loads — the race-mode equivalence tests rely on it.
+func (g *Gateway) pick(key uint64, exclude *replica) (*replica, error) {
+	var winner *replica
+	var winScore uint64
+	var fallback *replica
+	var fallbackLoad int64
+	inRotation := 0
+	for _, r := range g.replicas {
+		if r == exclude || !r.state().InRotation() {
+			continue
+		}
+		inRotation++
+		load := r.inflight.Load()
+		if load < int64(g.cfg.MaxInflight) && (fallback == nil || load < fallbackLoad) {
+			fallback, fallbackLoad = r, load
+		}
+		score := rendezvousScore(key, r.name)
+		if winner == nil || score > winScore || (score == winScore && r.name < winner.name) {
+			winner, winScore = r, score
+		}
+	}
+	if inRotation == 0 {
+		return nil, errNoReplicas
+	}
+	if winner.inflight.Load() < int64(g.cfg.MaxInflight) {
+		return winner, nil
+	}
+	if fallback == nil {
+		return nil, errAllSaturated
+	}
+	return fallback, nil
+}
+
+// upstreamResponse is one buffered replica response. Buffering (rather
+// than streaming) is what makes the retry path safe: nothing has been
+// written to the client before the gateway decides the response is
+// final.
+type upstreamResponse struct {
+	status      int
+	contentType string
+	retryAfter  string
+	traceID     string
+	body        []byte
+}
+
+// forward sends one buffered request to a replica and buffers its
+// response, accounting in-flight load for the duration.
+func (g *Gateway) forward(ctx context.Context, rep *replica, path, query, contentType, traceID string, body []byte) (*upstreamResponse, error) {
+	if err := faultinject.Check(faultinject.PointGatewayRoute); err != nil {
+		return nil, err
+	}
+	n := rep.inflight.Add(1)
+	rep.inflightGauge.Set(float64(n))
+	defer func() {
+		rep.inflightGauge.Set(float64(rep.inflight.Add(-1)))
+	}()
+	url := rep.base + path
+	if query != "" {
+		url += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if traceID != "" {
+		req.Header.Set(trace.HeaderTraceID, traceID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading replica response: %w", err)
+	}
+	rep.routed.Inc()
+	return &upstreamResponse{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		traceID:     resp.Header.Get(trace.HeaderTraceID),
+		body:        respBody,
+	}, nil
+}
+
+// retryableStatus reports replica responses worth one attempt on a
+// different replica: 500 and 502 mean this replica failed the request,
+// while 429/503 are deliberate backpressure (relayed, never retried —
+// hammering a second replica is how one overload becomes two) and 504
+// means the work deadline already expired.
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError || code == http.StatusBadGateway
+}
+
+// proxy routes one request: read + cap the body, place it by rendezvous
+// hash, forward, and retry at most MaxRetries times on a different
+// replica when transport fails or the replica answers 500/502 — each
+// retry spending a budget token. Transport outcomes feed the health
+// machine, so a dead replica drains from the route path alone.
+func (g *Gateway) proxy(endpoint string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", g.cfg.MaxBodyBytes))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return
+	}
+	key := routeKey(r, body)
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ProxyTimeout)
+	defer cancel()
+	contentType := r.Header.Get("Content-Type")
+	traceID := r.Header.Get(trace.HeaderTraceID)
+
+	var exclude *replica // the replica a retry must avoid
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rep, pickErr := g.pick(key, exclude)
+		if rep == nil {
+			if errors.Is(pickErr, errNoReplicas) {
+				// A first-attempt routing failure means the fleet is gone
+				// (503, try later); mid-retry it means the one replica that
+				// could have rescued the request was just excluded — fall
+				// through to the transport-failure answer below.
+				if attempt == 0 {
+					g.unroutable.Inc()
+					w.Header().Set("Retry-After", serve.RetryAfterHeader(g.cfg.RetryAfter))
+					writeError(w, http.StatusServiceUnavailable, "no replicas in rotation; retry later")
+					return
+				}
+				g.badGateway.Inc()
+				writeError(w, http.StatusBadGateway, "replica failed and no other replica is in rotation: "+lastErr.Error())
+				return
+			}
+			g.shed.Inc()
+			w.Header().Set("Retry-After", serve.RetryAfterHeader(g.cfg.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, "all replicas at capacity; retry later")
+			return
+		}
+		up, err := g.forward(ctx, rep, r.URL.Path, r.URL.RawQuery, contentType, traceID, body)
+		if err != nil {
+			// Transport failure: the replica never answered. Feed the
+			// health machine so a dead replica drains fast, then retry on
+			// a different replica if the budget allows.
+			lastErr = err
+			g.observe(rep, false, nil, err.Error())
+			if attempt < g.cfg.MaxRetries {
+				if g.budget.spend() {
+					g.retries.Inc()
+					exclude = rep
+					continue
+				}
+				g.budgetExhausted.Inc()
+			}
+			g.badGateway.Inc()
+			writeError(w, http.StatusBadGateway, "replica unreachable: "+err.Error())
+			return
+		}
+		g.observe(rep, true, nil, "")
+		if retryableStatus(up.status) && attempt < g.cfg.MaxRetries {
+			if g.budget.spend() {
+				g.retries.Inc()
+				exclude = rep
+				lastErr = fmt.Errorf("replica %s answered %d", rep.name, up.status)
+				continue
+			}
+			g.budgetExhausted.Inc()
+		}
+		g.budget.earn()
+		g.writeUpstream(w, up)
+		return
+	}
+}
+
+// writeUpstream relays a buffered replica response. Replica
+// backpressure (429/503) carries a unified Retry-After: the replica's
+// own header when present — dvserve renders it with
+// serve.RetryAfterHeader, the same function the gateway uses — or the
+// gateway default otherwise, so clients always get the one format.
+func (g *Gateway) writeUpstream(w http.ResponseWriter, up *upstreamResponse) {
+	if up.contentType != "" {
+		w.Header().Set("Content-Type", up.contentType)
+	}
+	if up.traceID != "" {
+		w.Header().Set(trace.HeaderTraceID, up.traceID)
+	}
+	switch up.status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		retryAfter := up.retryAfter
+		if retryAfter == "" {
+			retryAfter = serve.RetryAfterHeader(g.cfg.RetryAfter)
+		}
+		w.Header().Set("Retry-After", retryAfter)
+		if up.status == http.StatusTooManyRequests {
+			g.pass429.Inc()
+		} else {
+			g.pass503.Inc()
+		}
+	}
+	w.WriteHeader(up.status)
+	_, _ = w.Write(up.body)
+}

@@ -121,6 +121,12 @@ const (
 	TypeSLOBreach = "slo_breach"
 	// TypeLifecycle covers process start/stop/drain notices.
 	TypeLifecycle = "lifecycle"
+	// TypeReplicaHealth marks a gateway health-state transition for one
+	// replica (healthy, degraded, drained, reprobing).
+	TypeReplicaHealth = "replica_health"
+	// TypeRollout covers gateway staged-rollout progress: per-replica
+	// switch, convergence, halt, and rollback notices.
+	TypeRollout = "rollout"
 )
 
 // Event is one wide observability event. Fields are flat and typed so

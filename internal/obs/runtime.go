@@ -67,13 +67,17 @@ func NewRuntime(reg *telemetry.Registry, info map[string]string) *Runtime {
 	for i, name := range runtimeSamples {
 		r.samples[i].Name = name
 	}
-	publishBuildInfo(reg, info)
+	PublishBuildInfo(reg, info)
 	return r
 }
 
-// publishBuildInfo sets dv_build_info{...} = 1. The value is constant;
-// all information rides in the labels, Prometheus-style.
-func publishBuildInfo(reg *telemetry.Registry, extra map[string]string) {
+// PublishBuildInfo sets dv_build_info{...} = 1 and returns the labeled
+// series name it published. The value is constant; all information
+// rides in the labels, Prometheus-style. Callers republishing after an
+// artifact reload should zero the previously returned series first —
+// labels are identity here, so a checksum change mints a new series and
+// would otherwise leave the stale one standing at 1.
+func PublishBuildInfo(reg *telemetry.Registry, extra map[string]string) string {
 	labels := map[string]string{"version": "unknown", "go": "unknown"}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		labels["go"] = bi.GoVersion
@@ -100,7 +104,9 @@ func publishBuildInfo(reg *telemetry.Registry, extra map[string]string) {
 	for _, k := range keys {
 		kv = append(kv, k, labels[k])
 	}
-	reg.Gauge(telemetry.Label(MetricBuildInfo, kv...)).Set(1)
+	name := telemetry.Label(MetricBuildInfo, kv...)
+	reg.Gauge(name).Set(1)
+	return name
 }
 
 // Collect performs one synchronous poll of runtime/metrics into the

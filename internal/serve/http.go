@@ -146,6 +146,7 @@ func queryExplain(r *http.Request) bool {
 //	POST /v1/check            — validate one image
 //	POST /v1/batch            — validate many images, verdicts in input order
 //	POST /v1/reload           — hot-swap the detector via Config.Loader
+//	POST /admin/drain         — reversible admission drain (?enable=true|false)
 //	GET  /healthz             — process liveness
 //	GET  /readyz              — detector loaded, warmed, and not draining
 //	GET  /debug/dv/trace/{id} — one sampled verdict trace's span tree
@@ -158,6 +159,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/check", s.handleCheck)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/admin/drain", s.handleAdminDrain)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/dv/trace/", s.handleTrace)
@@ -179,14 +181,23 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// shedResponse answers 429 with the configured Retry-After hint.
-func (s *Server) shedResponse(w http.ResponseWriter) {
-	s.shed.Inc()
-	secs := int64(math.Ceil(s.cfg.RetryAfter.Seconds()))
+// RetryAfterHeader renders a backoff hint as the Retry-After header
+// value: integral seconds, rounded up, never below 1. It is the single
+// source of the header format — dvserve's shed path and the gateway's
+// shed/passthrough paths all emit exactly this, so clients see one
+// consistent contract no matter which layer asked them to back off.
+func RetryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	return strconv.FormatInt(secs, 10)
+}
+
+// shedResponse answers 429 with the configured Retry-After hint.
+func (s *Server) shedResponse(w http.ResponseWriter) {
+	s.shed.Inc()
+	w.Header().Set("Retry-After", RetryAfterHeader(s.cfg.RetryAfter))
 	writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
 }
 
@@ -778,19 +789,63 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ReloadResponse{Reloaded: true, Epsilon: eps})
 }
 
+// drainResponse answers POST /admin/drain.
+type drainResponse struct {
+	Draining bool `json:"draining"`
+}
+
+// handleAdminDrain is the operator drain hook: ?enable=true takes the
+// replica out of admission (checks answer 503, /readyz flips to
+// draining so a fronting gateway stops routing here) without touching
+// the process; ?enable=false reinstates it. Unlike Drain/Close this is
+// reversible — it is how a replica is parked for maintenance and
+// brought back.
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	enable := true
+	if v := r.URL.Query().Get("enable"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad enable value: "+err.Error())
+			return
+		}
+		enable = b
+	}
+	if err := s.SetDrain(enable); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, drainResponse{Draining: s.draining.Load()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-// readyzBody is the machine-parseable readiness summary appended to
+// ReadyzBody is the machine-parseable readiness summary appended to
 // /readyz as a single JSON line, after the plain-text lines probes and
-// smoke scripts grep.
-type readyzBody struct {
-	Status           string            `json:"status"`
-	ReloadFailStreak int               `json:"reload_fail_streak"`
-	Drift            trace.DriftStatus `json:"drift"`
-	SLO              obs.Status        `json:"slo"`
+// smoke scripts grep. It is exported because it is a wire contract:
+// the gateway's health prober unmarshals exactly this struct from the
+// tail of each replica's /readyz, and its ValidatorSHA256 field is how
+// staged rollouts verify that a reload actually converged on the
+// pushed artifact without needing a second endpoint.
+type ReadyzBody struct {
+	Status           string `json:"status"`
+	ReloadFailStreak int    `json:"reload_fail_streak"`
+	// ModelSHA256 and ValidatorSHA256 are the payload checksums of the
+	// artifacts behind the currently serving detector (empty when the
+	// server has no Config.ArtifactInfo or the files are legacy bare
+	// gobs with no container header). Refreshed on every successful
+	// reload.
+	ModelSHA256     string            `json:"model_sha256,omitempty"`
+	ValidatorSHA256 string            `json:"validator_sha256,omitempty"`
+	Drift           trace.DriftStatus `json:"drift"`
+	SLO             obs.Status        `json:"slo"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -813,13 +868,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	drift := s.DriftStatus()
 	slo := s.SLOStatus()
+	modelSHA, valSHA := s.ArtifactSHAs()
 	w.WriteHeader(code)
 	fmt.Fprintln(w, status)
 	fmt.Fprintln(w, s.driftLine())
 	fmt.Fprintln(w, slo.Line())
-	body, err := json.Marshal(readyzBody{
+	body, err := json.Marshal(ReadyzBody{
 		Status:           status,
 		ReloadFailStreak: s.FailStreak(),
+		ModelSHA256:      modelSHA,
+		ValidatorSHA256:  valSHA,
 		Drift:            drift,
 		SLO:              slo,
 	})

@@ -125,6 +125,13 @@ type Config struct {
 	// 10s).
 	ReloadBackoff    time.Duration
 	ReloadBackoffCap time.Duration
+	// ArtifactInfo, when non-nil, reports the SHA-256 payload checksums
+	// (model, validator) of the artifacts currently on disk. It is
+	// consulted once at startup and again after every successful
+	// reload, and the result is surfaced in the /readyz JSON tail so a
+	// fronting gateway can verify rollout convergence without a second
+	// endpoint. Callers may use it to refresh dv_build_info too.
+	ArtifactInfo func() (modelSHA256, validatorSHA256 string)
 	// Registry, when non-nil, receives the serving metrics and the
 	// detector's own instruments (verdict counters, discrepancy and
 	// latency histograms). Nil disables collection at zero cost.
@@ -274,10 +281,15 @@ type Server struct {
 
 	ready     atomic.Bool
 	draining  atomic.Bool
+	closed    atomic.Bool // Close is permanent; SetDrain(false) must not undo it
 	closeOnce sync.Once
 
 	reloadMu   sync.Mutex   // serializes Reload swaps
 	failStreak atomic.Int64 // consecutive reload failures since the last success
+
+	// artSHAs holds the {model, validator} payload checksums reported
+	// by Config.ArtifactInfo, refreshed on successful reloads.
+	artSHAs atomic.Pointer[[2]string]
 
 	// Request-scoped observability; all nil when disabled, and every
 	// consumer is nil-safe, so the disabled path allocates nothing.
@@ -347,6 +359,7 @@ func New(h *deepvalidation.Handle, cfg Config) (*Server, error) {
 	}
 	h.Get().AttachTelemetry(reg)
 	h.Get().AttachEvents(cfg.Events)
+	s.refreshArtifactSHAs()
 	s.rebuildDrift(h.Get())
 	s.buildSLO()
 	s.slo.Start()
@@ -574,6 +587,7 @@ func (s *Server) tryReload() (float64, error) {
 	det.AttachTelemetry(s.cfg.Registry)
 	det.AttachEvents(s.events)
 	s.handle.Swap(det)
+	s.refreshArtifactSHAs()
 	// The drift reference travels with the validator, so a reloaded
 	// detector gets a fresh watch (and a reloaded legacy artifact
 	// degrades the watch to disabled).
@@ -620,6 +634,53 @@ func (s *Server) rebuildDrift(det *deepvalidation.Detector) {
 		Registry:  s.cfg.Registry,
 		OnAlarm:   onAlarm,
 	}))
+}
+
+// refreshArtifactSHAs re-reads Config.ArtifactInfo (when configured)
+// and publishes the result for ArtifactSHAs / the /readyz JSON tail.
+// Called at startup and after every successful reload, so the surfaced
+// checksums always describe the artifacts the serving detector came
+// from.
+func (s *Server) refreshArtifactSHAs() {
+	if s.cfg.ArtifactInfo == nil {
+		return
+	}
+	m, v := s.cfg.ArtifactInfo()
+	s.artSHAs.Store(&[2]string{m, v})
+}
+
+// ArtifactSHAs returns the SHA-256 payload checksums (model, validator)
+// of the artifacts the serving detector was loaded from, or empty
+// strings when Config.ArtifactInfo is not configured. This is the value
+// a fronting gateway compares against a rollout target to verify
+// convergence.
+func (s *Server) ArtifactSHAs() (modelSHA256, validatorSHA256 string) {
+	p := s.artSHAs.Load()
+	if p == nil {
+		return "", ""
+	}
+	return p[0], p[1]
+}
+
+// SetDrain toggles the reversible drain switch used by a fronting
+// gateway during staged rollouts: while draining, /readyz answers 503
+// (so the gateway takes the replica out of rotation) but the server
+// keeps answering checks for traffic already routed to it. Unlike
+// Drain/Close, SetDrain(false) restores readiness — unless the server
+// has been closed, which is permanent.
+func (s *Server) SetDrain(enable bool) error {
+	if s.closed.Load() && !enable {
+		return errors.New("serve: server closed; drain cannot be lifted")
+	}
+	prev := s.draining.Swap(enable)
+	if prev != enable {
+		s.events.Emit(obs.Event{
+			Type: obs.TypeLifecycle, Level: obs.LevelInfo,
+			Msg:   fmt.Sprintf("drain switch set to %v", enable),
+			Extra: map[string]any{"draining": enable},
+		})
+	}
+	return nil
 }
 
 // DriftStatus returns the current drift-watch summary (Enabled false
@@ -691,6 +752,7 @@ func (s *Server) ReloadWithBackoff(ctx context.Context) (epsilon float64, err er
 // prefer Drain, which sequences the HTTP shutdown first.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.closed.Store(true)
 		s.draining.Store(true)
 		close(s.stop)
 		s.slo.Stop()

@@ -333,8 +333,11 @@ func TestQueueFullSheds(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d (body %q), want 429", resp.StatusCode, cBody)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("429 response carries no Retry-After header")
+	// The exact header value is a wire contract shared with the gateway
+	// passthrough (RetryAfterHeader: whole seconds, rounded up, min 1) —
+	// pin it, don't just require presence.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After = %q, want %q (RetryAfterHeader of the 1s default)", ra, "1")
 	}
 	if !strings.Contains(cBody, "queue full") {
 		t.Fatalf("429 body %q does not mention the queue", cBody)
