@@ -35,7 +35,10 @@ race:
 # a race-built dvserve), and the gateway pass (race-built 2-replica
 # fleet: rendezvous routing, kill -9 → drain with zero client 5xx,
 # reinstatement, corrupt-rollout refusal, halted rollout → automatic
-# rollback, retried rollout convergence).
+# rollback, retried rollout convergence), and the fleet obs pass
+# (both tiers traced: injected ID → one stitched two-tier span tree,
+# fleet/flight aggregation, kill -9 → marked partial tree, shed burst
+# → gateway availability breach with a resolvable cross-linked trace).
 smoke:
 	./scripts/telemetry_smoke.sh
 	./scripts/serve_smoke.sh
@@ -44,6 +47,7 @@ smoke:
 	./scripts/hunt_smoke.sh
 	./scripts/obs_smoke.sh
 	./scripts/gateway_smoke.sh
+	./scripts/fleet_obs_smoke.sh
 
 # perf is the allocation-regression gate for the scoring hot path:
 # bytes/op of BenchmarkScoreBatch/workers=1 must stay within 2x of the
@@ -72,9 +76,11 @@ fuzz:
 
 # snapshot refreshes BENCH_pipeline.json, the committed perf trajectory
 # for the parallel scoring & fitting pipeline plus the serving
-# micro-batcher (the serve pass merges into the file, so order matters).
+# micro-batcher and the gateway observability plane (the later passes
+# merge into the file, so order matters).
 snapshot:
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchPipelineSnapshot -count=1 -v .
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run 'TestBenchServeSnapshot$$' -count=1 -v ./internal/serve
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchServeWorkersSnapshot -count=1 -v ./internal/serve
 	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchTraceSnapshot -count=1 -v ./internal/serve
+	DV_BENCH_SNAPSHOT=1 $(GO) test -run TestBenchGatewayObsSnapshot -count=1 -v ./internal/gateway

@@ -24,6 +24,17 @@
 // rollout and rolls already-switched replicas back to the prior
 // artifact. GET /admin/replicas reports per-replica health, load, and
 // artifact identity; -metrics-addr serves the dv_gw_* instruments.
+//
+// Observability: -trace-sample records gateway hop-span trees; GET
+// /debug/dv/trace/{id} stitches the gateway's spans with the replica's
+// own span tree for the same X-DV-Trace-Id into one merged tree
+// (degrading to an explicitly marked partial tree when the replica is
+// unreachable). GET /debug/dv/fleet merges every replica's /readyz into
+// one triage view and GET /debug/dv/flight merges their flight
+// recorders under the shared filters plus a gateway-only ?replica=
+// axis. -slo turns on the burn-rate engine over the gateway's own
+// availability, passthrough, bad-gateway, and route-latency objectives
+// (GET /debug/dv/slo; breach events cross-link offending trace IDs).
 package main
 
 import (
@@ -96,6 +107,18 @@ func run() error {
 		budgetRatio = flag.Float64("retry-budget", 0.1, "retry-budget earn rate: tokens per successful request (bounds retry amplification)")
 
 		reloadRetries = flag.Int("rollout-reload-retries", 3, "per-replica /v1/reload attempts during a rollout before it halts")
+
+		traceSample = flag.Float64("trace-sample", 0, "gateway hop-span trace head-sampling rate in [0,1]; 0 disables tracing (X-DV-Trace-Id headers are always traced when > 0)")
+		traceStore  = flag.Int("trace-store", 256, "retained gateway traces for /debug/dv/trace/{id}")
+
+		sloOn       = flag.Bool("slo", false, "evaluate gateway SLO burn rates (/debug/dv/slo, dv_slo_* metrics, breach events)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability objective: goal fraction of requests not shed at capacity or refused unroutable")
+		sloPassGoal = flag.Float64("slo-passthrough-goal", 0.99, "passthrough objective: goal fraction of requests not answered with relayed replica 429/503 backpressure")
+		sloBGGoal   = flag.Float64("slo-bad-gateway-goal", 0.999, "bad-gateway objective: goal fraction of requests not answered 502 (or a relayed replica 500/502)")
+		sloLatTgt   = flag.Duration("slo-latency-target", 250*time.Millisecond, "route-latency objective target, end to end through the gateway")
+		sloLatGoal  = flag.Float64("slo-latency-goal", 0.99, "route-latency objective: goal fraction of routed requests under -slo-latency-target")
+		sloInterval = flag.Duration("slo-interval", 0, "burn-rate evaluation cadence (0: the engine default)")
+		sloBurn     = flag.Float64("slo-burn", 0, "burn-rate breach threshold sustained on every window (0: the engine default 14.4)")
 	)
 	logOpts := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -104,7 +127,9 @@ func run() error {
 	}
 
 	var reg *telemetry.Registry
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *sloOn {
+		// The SLO engine differences the dv_gw_* instruments, so -slo
+		// forces a registry even without a metrics listener.
 		reg = telemetry.New()
 	}
 	events, err := logOpts.Build(reg)
@@ -136,6 +161,18 @@ func run() error {
 		ReloadRetries:     *reloadRetries,
 		Registry:          reg,
 		Events:            events,
+		TraceSample:       *traceSample,
+		TraceStore:        *traceStore,
+		SLO: gateway.SLOOptions{
+			Enabled:         *sloOn,
+			Availability:    *sloAvail,
+			PassthroughGoal: *sloPassGoal,
+			BadGatewayGoal:  *sloBGGoal,
+			LatencyTarget:   *sloLatTgt,
+			LatencyGoal:     *sloLatGoal,
+			Interval:        *sloInterval,
+			Burn:            *sloBurn,
+		},
 	})
 	if err != nil {
 		return err
@@ -161,9 +198,9 @@ func run() error {
 	hs := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "dvgateway: serving /v1/check, /v1/batch, /admin/rollout, /admin/replicas, /healthz, /readyz on http://%s\n", ln.Addr())
-	fmt.Fprintf(os.Stderr, "dvgateway: ready (%d replicas, %d in rotation, probe-interval %v, drain-after %d, max-inflight %d)\n",
-		len(replicas), gw.InRotation(), *probeInterval, *drainAfter, *maxInflight)
+	fmt.Fprintf(os.Stderr, "dvgateway: serving /v1/check, /v1/batch, /admin/rollout, /admin/replicas, /healthz, /readyz, /debug/dv/{trace,fleet,flight,events,slo} on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dvgateway: ready (%d replicas, %d in rotation, probe-interval %v, drain-after %d, max-inflight %d, trace-sample %g, slo %v)\n",
+		len(replicas), gw.InRotation(), *probeInterval, *drainAfter, *maxInflight, *traceSample, *sloOn)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

@@ -47,6 +47,7 @@ import (
 	"deepvalidation/internal/obs"
 	"deepvalidation/internal/serve"
 	"deepvalidation/internal/telemetry"
+	"deepvalidation/internal/trace"
 )
 
 // Metric names for the gateway instruments (dv_gw_ prefix). Per-replica
@@ -94,6 +95,11 @@ const (
 	// MetricRollbacks counts replicas rolled back to the prior artifact
 	// after a halted rollout.
 	MetricRollbacks = "dv_gw_rollbacks_total"
+	// MetricRouteLatency is the end-to-end routed-request latency
+	// histogram, labeled by outcome (ok, retry, shed, passthrough,
+	// bad_gateway) — the SLO engine's route-latency and error-rate
+	// source.
+	MetricRouteLatency = "dv_gw_route_latency_seconds"
 )
 
 // ReplicaSpec declares one dvserve replica to front.
@@ -173,9 +179,24 @@ type Config struct {
 	// Registry, when non-nil, receives the dv_gw_* instruments. Nil
 	// disables collection at zero cost.
 	Registry *telemetry.Registry
-	// Events, when non-nil, receives replica-health and rollout wide
-	// events.
+	// Events, when non-nil, receives replica-health, rollout, and SLO
+	// wide events.
 	Events *obs.Logger
+	// TraceSample is the fraction of requests recorded as gateway hop
+	// span trees (admission → route decision → each retry hop →
+	// upstream round-trip) on /debug/dv/trace/{id}. Client-supplied
+	// X-DV-Trace-Id headers are always traced; otherwise the gateway
+	// mints an ID, head-samples it, and forwards it on every hop so the
+	// replica's own span tree shares the identity. 0 disables tracing
+	// entirely — no IDs are minted and responses are byte-identical to
+	// the untraced gateway.
+	TraceSample float64
+	// TraceStore bounds the ring of retained gateway traces
+	// (default 256).
+	TraceStore int
+	// SLO declares the gateway's own burn-rate objectives over the
+	// dv_gw_* instruments; it also needs Registry. See SLOOptions.
+	SLO SLOOptions
 }
 
 // defaults fills unset fields in place.
@@ -239,6 +260,10 @@ func (c *Config) defaults() {
 	if c.RolloutVerifyDelay <= 0 {
 		c.RolloutVerifyDelay = 50 * time.Millisecond
 	}
+	if c.TraceStore <= 0 {
+		c.TraceStore = 256
+	}
+	c.SLO.sloDefaults()
 }
 
 // replica is the gateway's view of one dvserve instance: its identity,
@@ -291,6 +316,15 @@ type Gateway struct {
 	rolloutMu sync.Mutex // one rollout at a time
 	events    *obs.Logger
 
+	sampler *trace.Sampler
+	traces  *trace.Store
+	// recent is a bounded ring of route outcomes (trace ID, outcome,
+	// latency) kept solely so SLO breach events can cross-link the
+	// offending trace IDs; it is not an endpoint of its own — the
+	// gateway's /debug/dv/flight aggregates the replicas' recorders.
+	recent *trace.Flight
+	slo    *obs.Engine
+
 	reqCheck        *telemetry.Counter
 	reqBatch        *telemetry.Counter
 	retries         *telemetry.Counter
@@ -307,6 +341,12 @@ type Gateway struct {
 	rollouts        *telemetry.Counter
 	rolloutsFailed  *telemetry.Counter
 	rollbacks       *telemetry.Counter
+
+	latOK          *telemetry.Histogram
+	latRetry       *telemetry.Histogram
+	latShed        *telemetry.Histogram
+	latPassthrough *telemetry.Histogram
+	latBadGateway  *telemetry.Histogram
 }
 
 // New builds a gateway over the configured fleet and starts one prober
@@ -348,6 +388,19 @@ func New(cfg Config) (*Gateway, error) {
 		rollouts:        reg.Counter(MetricRollouts),
 		rolloutsFailed:  reg.Counter(MetricRolloutsFailed),
 		rollbacks:       reg.Counter(MetricRollbacks),
+
+		latOK:          reg.Histogram(telemetry.Label(MetricRouteLatency, "outcome", outcomeOK), telemetry.DefLatencyBuckets),
+		latRetry:       reg.Histogram(telemetry.Label(MetricRouteLatency, "outcome", outcomeRetry), telemetry.DefLatencyBuckets),
+		latShed:        reg.Histogram(telemetry.Label(MetricRouteLatency, "outcome", outcomeShed), telemetry.DefLatencyBuckets),
+		latPassthrough: reg.Histogram(telemetry.Label(MetricRouteLatency, "outcome", outcomePassthrough), telemetry.DefLatencyBuckets),
+		latBadGateway:  reg.Histogram(telemetry.Label(MetricRouteLatency, "outcome", outcomeBadGateway), telemetry.DefLatencyBuckets),
+	}
+	if cfg.TraceSample > 0 {
+		g.sampler = trace.NewSampler(cfg.TraceSample)
+		g.traces = trace.NewStore(cfg.TraceStore)
+	}
+	if g.traces != nil || cfg.SLO.Enabled {
+		g.recent = trace.NewFlight(recentOutcomes)
 	}
 	seen := make(map[string]bool, len(cfg.Replicas))
 	for _, spec := range cfg.Replicas {
@@ -378,6 +431,8 @@ func New(cfg Config) (*Gateway, error) {
 			inflightGauge: reg.Gauge(telemetry.Label(MetricInflight, "replica", name)),
 		})
 	}
+	g.buildSLO()
+	g.slo.Start()
 	if cfg.ProbeInterval > 0 {
 		for _, r := range g.replicas {
 			g.wg.Add(1)
@@ -395,6 +450,7 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) Close() {
 	g.closeOnce.Do(func() {
 		close(g.stop)
+		g.slo.Stop()
 		g.events.Emit(obs.Event{Type: obs.TypeLifecycle, Level: obs.LevelInfo, Msg: "gateway closing"})
 	})
 	g.wg.Wait()

@@ -133,8 +133,9 @@ func copyFileTo(t testing.TB, src, dst string) {
 }
 
 // startReplica builds one real replica backed by private artifact
-// copies under dir.
-func startReplica(t testing.TB, dir, name string) *replicaProc {
+// copies under dir. Optional repTune callbacks adjust the replica's
+// serve.Config (e.g. to enable tracing) before the server is built.
+func startReplica(t testing.TB, dir, name string, repTune ...func(*serve.Config)) *replicaProc {
 	t.Helper()
 	rdir := filepath.Join(dir, name)
 	if err := os.MkdirAll(rdir, 0o755); err != nil {
@@ -156,11 +157,15 @@ func startReplica(t testing.TB, dir, name string) *replicaProc {
 		t.Fatal(err)
 	}
 	det.SetEpsilon(testEps)
-	srv, err := serve.New(deepvalidation.NewHandle(det), serve.Config{
+	scfg := serve.Config{
 		MaxBatch: 4, BatchWindow: time.Millisecond,
 		Loader:       loader,
 		ArtifactInfo: artifactInfoFor(p),
-	})
+	}
+	for _, tune := range repTune {
+		tune(&scfg)
+	}
+	srv, err := serve.New(deepvalidation.NewHandle(det), scfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,14 +245,14 @@ func (p *replicaProc) restart() {
 
 // newFleet builds n real replicas and a gateway over them with the
 // background prober disabled. Tests drive health deterministically.
-func newFleet(t testing.TB, n int, tune func(*Config)) (*Gateway, []*replicaProc, *telemetry.Registry) {
+func newFleet(t testing.TB, n int, tune func(*Config), repTune ...func(*serve.Config)) (*Gateway, []*replicaProc, *telemetry.Registry) {
 	t.Helper()
 	dir := t.TempDir()
 	procs := make([]*replicaProc, n)
 	specs := make([]ReplicaSpec, n)
 	for i := range procs {
 		name := fmt.Sprintf("replica%d", i+1)
-		procs[i] = startReplica(t, dir, name)
+		procs[i] = startReplica(t, dir, name, repTune...)
 		specs[i] = ReplicaSpec{Name: name, Addr: procs[i].addr, ValidatorPath: procs[i].valP}
 	}
 	reg := telemetry.New()

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"deepvalidation/internal/obs"
 )
 
 // errorResponse mirrors dvserve's uniform error body, so clients parse
@@ -24,12 +26,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // Handler returns the gateway's routing table:
 //
-//	POST /v1/check       — route one image to a replica (retried per budget)
-//	POST /v1/batch       — route one batch to a replica
-//	POST /admin/rollout  — staged artifact rollout across the fleet
-//	GET  /admin/replicas — per-replica health, load, and artifact identity
-//	GET  /healthz        — gateway process liveness
-//	GET  /readyz         — fleet routability (200 while ≥1 replica is in rotation)
+//	POST /v1/check            — route one image to a replica (retried per budget)
+//	POST /v1/batch            — route one batch to a replica
+//	POST /admin/rollout       — staged artifact rollout across the fleet
+//	GET  /admin/replicas      — per-replica health, load, and artifact identity
+//	GET  /healthz             — gateway process liveness
+//	GET  /readyz              — fleet routability (200 while ≥1 replica is in rotation)
+//	GET  /debug/dv/trace/{id} — stitched cross-tier span tree (gateway hops + replica verdict)
+//	GET  /debug/dv/fleet      — every replica's /readyz, drift, SLO, and artifact identity in one view
+//	GET  /debug/dv/flight     — recent verdicts merged across replicas (?valid=, ?class=, ?outcome=, ?limit=, ?replica=)
+//	GET  /debug/dv/events     — recent gateway wide events (?type=, ?level=, ?limit=, ...)
+//	GET  /debug/dv/slo        — gateway SLO burn-rate engine status per objective and window
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", func(w http.ResponseWriter, r *http.Request) {
@@ -44,6 +51,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/admin/replicas", g.handleReplicas)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/readyz", g.handleReadyz)
+	mux.HandleFunc("/debug/dv/trace/", g.handleTrace)
+	mux.HandleFunc("/debug/dv/fleet", g.handleFleet)
+	mux.HandleFunc("/debug/dv/flight", g.handleFleetFlight)
+	mux.HandleFunc("/debug/dv/events", g.handleEvents)
+	mux.HandleFunc("/debug/dv/slo", g.handleSLO)
 	return mux
 }
 
@@ -121,12 +133,15 @@ func (g *Gateway) handleReplicas(w http.ResponseWriter, r *http.Request) {
 type ReadyzBody struct {
 	Status     string          `json:"status"`
 	InRotation int             `json:"in_rotation"`
+	SLO        obs.Status      `json:"slo"`
 	Replicas   []ReplicaStatus `json:"replicas"`
 }
 
 // handleReadyz reports fleet routability. Like dvserve's /readyz the
 // body is layered: line 1 the bare status word, line 2 the rotation
-// summary, line 3 the full JSON document. The gateway is ready while at
+// summary, line 3 the SLO summary, line 4 the full JSON document —
+// the same plain-text-then-JSON-tail contract dvserve keeps, so one
+// probe grammar works on both tiers. The gateway is ready while at
 // least one replica is in rotation — a degraded fleet that can still
 // serve should keep receiving traffic.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -142,10 +157,12 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if in == 0 {
 		status, code = "unroutable", http.StatusServiceUnavailable
 	}
+	slo := g.SLOStatus()
 	w.WriteHeader(code)
 	fmt.Fprintln(w, status)
 	fmt.Fprintf(w, "replicas: %d/%d in rotation\n", in, len(statuses))
-	body, err := json.Marshal(ReadyzBody{Status: status, InRotation: in, Replicas: statuses})
+	fmt.Fprintln(w, slo.Line())
+	body, err := json.Marshal(ReadyzBody{Status: status, InRotation: in, SLO: slo, Replicas: statuses})
 	if err == nil {
 		w.Write(body)
 		fmt.Fprintln(w)

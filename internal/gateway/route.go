@@ -8,17 +8,41 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"time"
 
 	"deepvalidation/internal/faultinject"
 	"deepvalidation/internal/serve"
 	"deepvalidation/internal/trace"
 )
 
+// Gateway route outcomes: how one proxied request left the gateway.
+// They label the dv_gw_route_latency_seconds histograms, the gateway's
+// hop-span trees, and the SLO cross-link ring.
+const (
+	outcomeOK          = "ok"          // routed, replica answered, no retry needed
+	outcomeRetry       = "retry"       // routed successfully after >= 1 retry hop
+	outcomeShed        = "shed"        // gateway-origin 429/503 (saturated or unroutable)
+	outcomePassthrough = "passthrough" // replica 429/503 backpressure relayed
+	outcomeBadGateway  = "bad_gateway" // 502 or a relayed replica 500/502
+)
+
+// Route-decision reasons recorded on the route span of each hop.
+const (
+	reasonRendezvous  = "rendezvous"   // the highest-random-weight winner took it
+	reasonLeastLoaded = "least_loaded" // winner at capacity; least-loaded fallback
+)
+
+// recentOutcomes bounds the ring of route outcomes kept for SLO breach
+// cross-linking.
+const recentOutcomes = 256
+
 // routeKey derives the placement key for one request: the client's
 // X-DV-Trace-Id when present (so a traced request is replayable against
 // the same replica), otherwise the FNV-1a hash of the body — identical
 // payloads land on the same replica, which keeps any replica-local
-// caching and flight-recorder context coherent.
+// caching and flight-recorder context coherent. A gateway-minted trace
+// ID deliberately does not participate: it is random, and routing by it
+// would scatter identical payloads.
 func routeKey(r *http.Request, body []byte) uint64 {
 	h := fnv.New64a()
 	if id := r.Header.Get(trace.HeaderTraceID); id != "" {
@@ -52,9 +76,11 @@ var (
 
 // pick places a key: the rendezvous winner among in-rotation replicas
 // not in exclude, falling back to the least-loaded eligible replica
-// when the winner is at its in-flight cap. Deterministic given the same
-// rotation set and loads — the race-mode equivalence tests rely on it.
-func (g *Gateway) pick(key uint64, exclude *replica) (*replica, error) {
+// when the winner is at its in-flight cap. The reason string says which
+// of the two happened — it is recorded on the hop's route span.
+// Deterministic given the same rotation set and loads — the race-mode
+// equivalence tests rely on it.
+func (g *Gateway) pick(key uint64, exclude *replica) (*replica, string, error) {
 	var winner *replica
 	var winScore uint64
 	var fallback *replica
@@ -75,15 +101,15 @@ func (g *Gateway) pick(key uint64, exclude *replica) (*replica, error) {
 		}
 	}
 	if inRotation == 0 {
-		return nil, errNoReplicas
+		return nil, "", errNoReplicas
 	}
 	if winner.inflight.Load() < int64(g.cfg.MaxInflight) {
-		return winner, nil
+		return winner, reasonRendezvous, nil
 	}
 	if fallback == nil {
-		return nil, errAllSaturated
+		return nil, "", errAllSaturated
 	}
-	return fallback, nil
+	return fallback, reasonLeastLoaded, nil
 }
 
 // upstreamResponse is one buffered replica response. Buffering (rather
@@ -151,16 +177,152 @@ func retryableStatus(code int) bool {
 	return code == http.StatusInternalServerError || code == http.StatusBadGateway
 }
 
-// proxy routes one request: read + cap the body, place it by rendezvous
-// hash, forward, and retry at most MaxRetries times on a different
-// replica when transport fails or the replica answers 500/502 — each
-// retry spending a budget token. Transport outcomes feed the health
-// machine, so a dead replica drains from the route path alone.
+// hopRecord is one routing attempt as seen by the hop-span tree: the
+// route decision (or its failure) and the upstream round-trip.
+type hopRecord struct {
+	replica   string // empty when the pick itself failed
+	reason    string
+	pickStart time.Time
+	pickEnd   time.Time
+	fwdEnd    time.Time
+	status    int // replica's HTTP status; 0 when transport failed
+	err       string
+	retry     bool
+}
+
+// routeResult is the terminal state of one routed request: either a
+// final upstream response or a gateway-origin error, plus the hop
+// history and the outcome classification.
+type routeResult struct {
+	up      *upstreamResponse
+	status  int    // gateway-origin status when up == nil
+	msg     string // gateway-origin error body when up == nil
+	outcome string
+	hops    []hopRecord
+}
+
+// clientStatus is the HTTP status the client will see.
+func (rr *routeResult) clientStatus() int {
+	if rr.up != nil {
+		return rr.up.status
+	}
+	return rr.status
+}
+
+// route runs the placement/retry loop for one request and classifies
+// the terminal outcome. Hop records are collected only when keepHops —
+// the untraced path allocates nothing for them.
+func (g *Gateway) route(ctx context.Context, key uint64, path, query, contentType, fwdID string, body []byte, keepHops bool) routeResult {
+	var res routeResult
+	var exclude *replica // the replica a retry must avoid
+	var lastErr error
+	record := func(h hopRecord) {
+		if keepHops {
+			res.hops = append(res.hops, h)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		pickStart := time.Now()
+		rep, reason, pickErr := g.pick(key, exclude)
+		pickEnd := time.Now()
+		if rep == nil {
+			record(hopRecord{pickStart: pickStart, pickEnd: pickEnd, err: pickErr.Error(), retry: attempt > 0})
+			if errors.Is(pickErr, errNoReplicas) {
+				// A first-attempt routing failure means the fleet is gone
+				// (503, try later); mid-retry it means the one replica that
+				// could have rescued the request was just excluded — answer
+				// like a transport failure.
+				if attempt == 0 {
+					g.unroutable.Inc()
+					res.status, res.msg = http.StatusServiceUnavailable, "no replicas in rotation; retry later"
+					res.outcome = outcomeShed
+					return res
+				}
+				g.badGateway.Inc()
+				res.status, res.msg = http.StatusBadGateway, "replica failed and no other replica is in rotation: "+lastErr.Error()
+				res.outcome = outcomeBadGateway
+				return res
+			}
+			g.shed.Inc()
+			res.status, res.msg = http.StatusTooManyRequests, "all replicas at capacity; retry later"
+			res.outcome = outcomeShed
+			return res
+		}
+		hop := hopRecord{replica: rep.name, reason: reason, pickStart: pickStart, pickEnd: pickEnd, retry: attempt > 0}
+		up, err := g.forward(ctx, rep, path, query, contentType, fwdID, body)
+		hop.fwdEnd = time.Now()
+		if err != nil {
+			// Transport failure: the replica never answered. Feed the
+			// health machine so a dead replica drains fast, then retry on
+			// a different replica if the budget allows.
+			hop.err = err.Error()
+			record(hop)
+			lastErr = err
+			g.observe(rep, false, nil, err.Error())
+			if attempt < g.cfg.MaxRetries {
+				if g.budget.spend() {
+					g.retries.Inc()
+					exclude = rep
+					continue
+				}
+				g.budgetExhausted.Inc()
+			}
+			g.badGateway.Inc()
+			res.status, res.msg = http.StatusBadGateway, "replica unreachable: "+err.Error()
+			res.outcome = outcomeBadGateway
+			return res
+		}
+		hop.status = up.status
+		record(hop)
+		g.observe(rep, true, nil, "")
+		if retryableStatus(up.status) && attempt < g.cfg.MaxRetries {
+			if g.budget.spend() {
+				g.retries.Inc()
+				exclude = rep
+				lastErr = fmt.Errorf("replica %s answered %d", rep.name, up.status)
+				continue
+			}
+			g.budgetExhausted.Inc()
+		}
+		g.budget.earn()
+		res.up = up
+		switch {
+		case up.status == http.StatusTooManyRequests || up.status == http.StatusServiceUnavailable:
+			res.outcome = outcomePassthrough
+		case retryableStatus(up.status):
+			// A relayed replica 500/502 after the retry allowance — the
+			// gateway failed to shield the client from a replica failure.
+			res.outcome = outcomeBadGateway
+		case attempt > 0:
+			res.outcome = outcomeRetry
+		default:
+			res.outcome = outcomeOK
+		}
+		return res
+	}
+}
+
+// proxy routes one request: read + cap the body, resolve its trace
+// identity, place it by rendezvous hash, forward, and retry at most
+// MaxRetries times on a different replica when transport fails or the
+// replica answers 500/502 — each retry spending a budget token.
+// Transport outcomes feed the health machine, so a dead replica drains
+// from the route path alone. Every terminal outcome is observed into
+// the per-outcome latency histograms, the SLO cross-link ring, and —
+// when the request is traced — the gateway's hop-span store.
 func (g *Gateway) proxy(endpoint string, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
+	}
+	t0 := time.Now()
+	id, traced := g.traceDecision(r)
+	if id != "" {
+		// Echo the gateway's trace identity on every response — success
+		// or error — so any request seen while tracing is on can be
+		// looked up afterwards, even if it never reached a replica.
+		w.Header().Set(trace.HeaderTraceID, id)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
@@ -174,81 +336,43 @@ func (g *Gateway) proxy(endpoint string, w http.ResponseWriter, r *http.Request)
 		return
 	}
 	key := routeKey(r, body)
+	admissionEnd := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ProxyTimeout)
 	defer cancel()
-	contentType := r.Header.Get("Content-Type")
-	traceID := r.Header.Get(trace.HeaderTraceID)
-
-	var exclude *replica // the replica a retry must avoid
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		rep, pickErr := g.pick(key, exclude)
-		if rep == nil {
-			if errors.Is(pickErr, errNoReplicas) {
-				// A first-attempt routing failure means the fleet is gone
-				// (503, try later); mid-retry it means the one replica that
-				// could have rescued the request was just excluded — fall
-				// through to the transport-failure answer below.
-				if attempt == 0 {
-					g.unroutable.Inc()
-					w.Header().Set("Retry-After", serve.RetryAfterHeader(g.cfg.RetryAfter))
-					writeError(w, http.StatusServiceUnavailable, "no replicas in rotation; retry later")
-					return
-				}
-				g.badGateway.Inc()
-				writeError(w, http.StatusBadGateway, "replica failed and no other replica is in rotation: "+lastErr.Error())
-				return
-			}
-			g.shed.Inc()
+	// Forward the request's trace identity on every hop: the resolved
+	// gateway ID when tracing is on (minted or client-supplied), else
+	// whatever the client sent, verbatim — tracing off must not change
+	// the wire behavior.
+	fwdID := id
+	if fwdID == "" {
+		fwdID = r.Header.Get(trace.HeaderTraceID)
+	}
+	res := g.route(ctx, key, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), fwdID, body, traced)
+	g.finishProxy(endpoint, id, traced, t0, admissionEnd, &res)
+	if res.up == nil {
+		if res.status == http.StatusServiceUnavailable || res.status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", serve.RetryAfterHeader(g.cfg.RetryAfter))
-			writeError(w, http.StatusTooManyRequests, "all replicas at capacity; retry later")
-			return
 		}
-		up, err := g.forward(ctx, rep, r.URL.Path, r.URL.RawQuery, contentType, traceID, body)
-		if err != nil {
-			// Transport failure: the replica never answered. Feed the
-			// health machine so a dead replica drains fast, then retry on
-			// a different replica if the budget allows.
-			lastErr = err
-			g.observe(rep, false, nil, err.Error())
-			if attempt < g.cfg.MaxRetries {
-				if g.budget.spend() {
-					g.retries.Inc()
-					exclude = rep
-					continue
-				}
-				g.budgetExhausted.Inc()
-			}
-			g.badGateway.Inc()
-			writeError(w, http.StatusBadGateway, "replica unreachable: "+err.Error())
-			return
-		}
-		g.observe(rep, true, nil, "")
-		if retryableStatus(up.status) && attempt < g.cfg.MaxRetries {
-			if g.budget.spend() {
-				g.retries.Inc()
-				exclude = rep
-				lastErr = fmt.Errorf("replica %s answered %d", rep.name, up.status)
-				continue
-			}
-			g.budgetExhausted.Inc()
-		}
-		g.budget.earn()
-		g.writeUpstream(w, up)
+		writeError(w, res.status, res.msg)
 		return
 	}
+	g.writeUpstream(w, res.up, id)
 }
 
-// writeUpstream relays a buffered replica response. Replica
-// backpressure (429/503) carries a unified Retry-After: the replica's
-// own header when present — dvserve renders it with
-// serve.RetryAfterHeader, the same function the gateway uses — or the
-// gateway default otherwise, so clients always get the one format.
-func (g *Gateway) writeUpstream(w http.ResponseWriter, up *upstreamResponse) {
+// writeUpstream relays a buffered replica response. The trace header
+// prefers the gateway's own ID (already set by proxy) over the
+// replica's echo — they are the same value on the stitched path, but a
+// replica must not be able to overwrite the identity the gateway
+// advertised. Replica backpressure (429/503) carries a unified
+// Retry-After: the replica's own header when present — dvserve renders
+// it with serve.RetryAfterHeader, the same function the gateway uses —
+// or the gateway default otherwise, so clients always get the one
+// format.
+func (g *Gateway) writeUpstream(w http.ResponseWriter, up *upstreamResponse, gatewayID string) {
 	if up.contentType != "" {
 		w.Header().Set("Content-Type", up.contentType)
 	}
-	if up.traceID != "" {
+	if gatewayID == "" && up.traceID != "" {
 		w.Header().Set(trace.HeaderTraceID, up.traceID)
 	}
 	switch up.status {

@@ -86,7 +86,7 @@ func TestRendezvousPlacement(t *testing.T) {
 	place := func() map[uint64]string {
 		m := make(map[uint64]string, keys)
 		for k := uint64(0); k < keys; k++ {
-			rep, err := g.pick(k, nil)
+			rep, _, err := g.pick(k, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestRendezvousPlacement(t *testing.T) {
 	drained.mu.Unlock()
 	moved := 0
 	for k, name := range base {
-		rep, err := g.pick(k, nil)
+		rep, _, err := g.pick(k, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// EventsResponse is the body of GET /debug/dv/events. It is a wire
+// contract shared by dvserve and dvgateway, which both mount
+// HandleEvents — one triage grammar across the fleet.
+type EventsResponse struct {
+	Count  int     `json:"count"`
+	Events []Event `json:"events"`
+}
+
+func httpJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	httpJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// HandleEvents serves a wide-event ring, newest first, under the shared
+// triage filters: the flight recorder's (?valid=, ?class=, ?outcome=,
+// ?limit=) plus the event-native ?type= and ?level= axes. A nil logger
+// answers 404 so the disabled path is explicit rather than empty.
+func HandleEvents(l *Logger, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if l == nil {
+		httpError(w, http.StatusNotFound, "event log disabled (run with -log)")
+		return
+	}
+	q := r.URL.Query()
+	f := Filter{Type: q.Get("type"), Outcome: q.Get("outcome")}
+	if v := q.Get("level"); v != "" {
+		lvl, err := ParseLevel(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad level filter: "+err.Error())
+			return
+		}
+		f.MinLevel = lvl
+	}
+	if v := q.Get("valid"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad valid filter: "+err.Error())
+			return
+		}
+		f.Valid = &b
+	}
+	if v := q.Get("class"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad class filter: "+err.Error())
+			return
+		}
+		f.Class = &k
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad limit: "+err.Error())
+			return
+		}
+		f.Limit = n
+	}
+	evs := l.Snapshot(f)
+	if evs == nil {
+		evs = []Event{}
+	}
+	httpJSON(w, http.StatusOK, EventsResponse{Count: len(evs), Events: evs})
+}

@@ -636,15 +636,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tr)
 }
 
-// flightResponse is the body of GET /debug/dv/flight.
-type flightResponse struct {
+// FlightResponse is the body of GET /debug/dv/flight. It is exported
+// as a wire contract: the gateway's fleet-wide flight aggregation
+// unmarshals exactly this struct from each replica before merging.
+type FlightResponse struct {
 	Count   int           `json:"count"`
 	Entries []trace.Entry `json:"entries"`
 }
 
 // handleFlight serves the flight recorder, newest first. Filters:
 // ?valid=false (verdicts by validity), ?class=3 (by predicted label),
-// ?outcome=shed, ?limit=20.
+// ?outcome=shed, ?limit=20 — parsed by trace.ParseFilter, the grammar
+// shared with the gateway's fleet aggregation.
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -655,98 +658,22 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "flight recorder disabled (serve with FlightSize >= 0)")
 		return
 	}
-	q := r.URL.Query()
-	var f trace.Filter
-	if v := q.Get("valid"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad valid filter: "+err.Error())
-			return
-		}
-		f.Valid = &b
-	}
-	if v := q.Get("class"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad class filter: "+err.Error())
-			return
-		}
-		f.Class = &k
-	}
-	f.Outcome = q.Get("outcome")
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad limit: "+err.Error())
-			return
-		}
-		f.Limit = n
+	f, err := trace.ParseFilter(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	entries := s.flight.Snapshot(f)
 	if entries == nil {
 		entries = []trace.Entry{}
 	}
-	writeJSON(w, http.StatusOK, flightResponse{Count: len(entries), Entries: entries})
+	writeJSON(w, http.StatusOK, FlightResponse{Count: len(entries), Entries: entries})
 }
 
-// eventsResponse is the body of GET /debug/dv/events.
-type eventsResponse struct {
-	Count  int         `json:"count"`
-	Events []obs.Event `json:"events"`
-}
-
-// handleEvents serves the wide-event ring, newest first. Filters mirror
-// the flight recorder's (?valid=, ?class=, ?outcome=, ?limit=) plus the
-// event-native ?type= and ?level= axes.
+// handleEvents serves the wide-event ring through obs.HandleEvents,
+// the handler shared with the gateway tier.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	if s.events == nil {
-		writeError(w, http.StatusNotFound, "event log disabled (serve with Config.Events)")
-		return
-	}
-	q := r.URL.Query()
-	f := obs.Filter{Type: q.Get("type"), Outcome: q.Get("outcome")}
-	if v := q.Get("level"); v != "" {
-		lvl, err := obs.ParseLevel(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad level filter: "+err.Error())
-			return
-		}
-		f.MinLevel = lvl
-	}
-	if v := q.Get("valid"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad valid filter: "+err.Error())
-			return
-		}
-		f.Valid = &b
-	}
-	if v := q.Get("class"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad class filter: "+err.Error())
-			return
-		}
-		f.Class = &k
-	}
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad limit: "+err.Error())
-			return
-		}
-		f.Limit = n
-	}
-	evs := s.events.Snapshot(f)
-	if evs == nil {
-		evs = []obs.Event{}
-	}
-	writeJSON(w, http.StatusOK, eventsResponse{Count: len(evs), Events: evs})
+	obs.HandleEvents(s.events, w, r)
 }
 
 // handleSLO serves the burn-rate engine's per-objective evaluation

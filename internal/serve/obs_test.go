@@ -68,7 +68,7 @@ func TestEventsEndpoint(t *testing.T) {
 		}
 	}
 
-	var er eventsResponse
+	var er obs.EventsResponse
 	if code := getJSON(t, ts.URL+"/debug/dv/events", &er); code != http.StatusOK {
 		t.Fatalf("GET events = %d, want 200", code)
 	}
@@ -349,7 +349,7 @@ func TestSLOBreachEventCrossLinksTraces(t *testing.T) {
 	}
 
 	// /debug/dv/events?type=slo_breach surfaces the same event over HTTP.
-	var er eventsResponse
+	var er obs.EventsResponse
 	if code := getJSON(t, ts.URL+"/debug/dv/events?type=slo_breach&level=error", &er); code != http.StatusOK {
 		t.Fatalf("GET events = %d", code)
 	}

@@ -312,7 +312,7 @@ func TestFlightRecorder(t *testing.T) {
 		}
 	}
 
-	var fr flightResponse
+	var fr FlightResponse
 	if code := getJSON(t, ts.URL+"/debug/dv/flight", &fr); code != http.StatusOK {
 		t.Fatalf("GET flight = %d, want 200", code)
 	}
@@ -368,7 +368,7 @@ func TestFlightDeadlineOutcome(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", resp.StatusCode)
 	}
-	var fr flightResponse
+	var fr FlightResponse
 	if code := getJSON(t, ts.URL+"/debug/dv/flight?outcome=deadline", &fr); code != http.StatusOK || fr.Count == 0 {
 		t.Fatalf("outcome=deadline: code %d count %d, want a recorded deadline", code, fr.Count)
 	}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+)
+
+// This file holds the cross-tier helpers: filter parsing shared by the
+// dvserve and dvgateway triage endpoints, and span-tree decode/clone
+// primitives the gateway's trace stitcher uses to merge a replica's
+// span tree into its own hop tree.
+
+// ParseFilter parses the shared flight-recorder query grammar
+// (?valid=, ?class=, ?outcome=, ?limit=) into a Filter. Both tiers use
+// it, so a bad filter value produces the same 400 message whether the
+// client asked a replica or the gateway's fleet-wide aggregation.
+func ParseFilter(q url.Values) (Filter, error) {
+	var f Filter
+	if v := q.Get("valid"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return Filter{}, fmt.Errorf("bad valid filter: %s", err)
+		}
+		f.Valid = &b
+	}
+	if v := q.Get("class"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return Filter{}, fmt.Errorf("bad class filter: %s", err)
+		}
+		f.Class = &k
+	}
+	f.Outcome = q.Get("outcome")
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Filter{}, fmt.Errorf("bad limit: %s", err)
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+// DecodeTrace parses the JSON a trace endpoint serves (the wire form
+// of Trace) back into a tree — the fetch half of cross-tier stitching.
+func DecodeTrace(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("decoding trace: %w", err)
+	}
+	if tr.Root == nil {
+		return nil, errors.New("decoding trace: no root span")
+	}
+	return &tr, nil
+}
+
+// CloneSpan deep-copies a span tree. Stitching grafts remote subtrees
+// onto a stored tree; cloning first keeps the store's copy immutable
+// under concurrent readers.
+func CloneSpan(s *Span) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: s.Name, StartNs: s.StartNs, DurNs: s.DurNs}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]any, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	if len(s.Children) > 0 {
+		c.Children = make([]*Span, len(s.Children))
+		for i, ch := range s.Children {
+			c.Children[i] = CloneSpan(ch)
+		}
+	}
+	return c
+}
+
+// CountSpans returns the number of spans in the tree rooted at s.
+func CountSpans(s *Span) int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children {
+		n += CountSpans(c)
+	}
+	return n
+}
+
+// FindSpan returns the first span (depth-first, children in order) for
+// which pred is true, or nil.
+func FindSpan(s *Span, pred func(*Span) bool) *Span {
+	if s == nil {
+		return nil
+	}
+	if pred(s) {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := FindSpan(c, pred); m != nil {
+			return m
+		}
+	}
+	return nil
+}
